@@ -1,0 +1,271 @@
+package repro
+
+// One benchmark per evaluation artifact of the paper (E1–E5 in DESIGN.md)
+// plus ablations over the design choices the paper calls out. Benchmarks
+// double as the reproduction harness: each reports the headline metric of
+// its table/figure via b.ReportMetric, so `go test -bench . -benchmem`
+// regenerates the paper's numbers alongside the performance profile.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chunknet"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/flowsim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1DetourAnalysis regenerates Table 1: detour classification
+// of every link in all nine synthetic ISP topologies. The reported metric
+// is the largest per-class deviation from the paper's row (fraction).
+func BenchmarkTable1DetourAnalysis(b *testing.B) {
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxErr = experiments.MaxAbsError(rows)
+	}
+	b.ReportMetric(maxErr, "maxAbsErr")
+}
+
+// fig4Bench is the reduced Fig. 4 configuration used by the benchmarks
+// (one seed, one topology, short horizon) — the full sweep lives in
+// cmd/experiments.
+func fig4Bench(isp topo.ISP) experiments.Fig4Config {
+	return experiments.Fig4Config{
+		ISPs:            []topo.ISP{isp},
+		TargetActive:    120,
+		DemandCap:       300 * units.Mbps,
+		UniformCapacity: 450 * units.Mbps,
+		Horizon:         8 * time.Second,
+		Seeds:           1,
+	}
+}
+
+// BenchmarkFig4aThroughput regenerates Figure 4a (network throughput of
+// SP vs ECMP vs INRP) on the Exodus topology; the reported metric is the
+// INRP/SP gain (the paper claims 9–15% at full scale).
+func BenchmarkFig4aThroughput(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(fig4Bench(topo.Exodus))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res[0].GainOverSP
+	}
+	b.ReportMetric(100*gain, "gain%")
+}
+
+// BenchmarkFig4bPathStretch regenerates Figure 4b (INRP path-stretch CDF)
+// on the Exodus topology; the reported metrics are the CDF at stretch 1.0
+// (paper: ≥ ~0.5) and the maximum stretch (paper: ≤ ~1.35).
+func BenchmarkFig4bPathStretch(b *testing.B) {
+	var atOne, max float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(fig4Bench(topo.Exodus))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := stats.NewECDF(res[0].Stretch)
+		atOne = e.Eval(1.0 + 1e-9)
+		max = e.Max()
+	}
+	b.ReportMetric(atOne, "F(1.0)")
+	b.ReportMetric(max, "maxStretch")
+}
+
+// BenchmarkFig3Fairness regenerates the Figure 3 example; the reported
+// metrics are the Jain indices (paper: 0.73 e2e, 1.0 INRPP).
+func BenchmarkFig3Fairness(b *testing.B) {
+	var r *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.E2EJain, "e2eJain")
+	b.ReportMetric(r.INRPJain, "inrpJain")
+}
+
+// BenchmarkCustodyBackpressure regenerates the §3.3 custody claim at a
+// reduced scale; the reported metrics are INRPP drops (paper: custody
+// avoids drops) and AIMD drops (the baseline loses packets).
+func BenchmarkCustodyBackpressure(b *testing.B) {
+	cfg := experiments.CustodyConfig{
+		IngressRate: 4 * units.Gbps,
+		EgressRate:  200 * units.Mbps,
+		Custody:     units.GB,
+		Buffer:      2 * units.MB,
+		ChunkSize:   units.MB,
+		Chunks:      600,
+		Horizon:     4 * time.Second,
+	}
+	var r *experiments.CustodyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Custody(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.INRPP.Dropped), "inrppDrops")
+	b.ReportMetric(float64(r.AIMD.Dropped), "aimdDrops")
+	b.ReportMetric(r.HoldSeconds, "holdSecs")
+}
+
+// BenchmarkAblationDetourDepth ablates the detour search depth: no
+// detours at all, 1-hop only, and 1-hop plus the paper's extra hop.
+func BenchmarkAblationDetourDepth(b *testing.B) {
+	run := func(b *testing.B, planner core.PlannerConfig, policy flowsim.Policy) {
+		g := topo.MustBuildISP(topo.Exodus)
+		g.SetAllCapacities(450 * units.Mbps)
+		flows := benchWorkload(g, 240)
+		var sat float64
+		for i := 0; i < b.N; i++ {
+			r, err := flowsim.Run(flowsim.Config{
+				Graph: g, Policy: policy, Flows: flows,
+				Horizon: 8 * time.Second, DemandCap: 300 * units.Mbps,
+				Planner: planner,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sat = r.DemandSatisfied
+		}
+		b.ReportMetric(sat, "throughput")
+	}
+	b.Run("none(SP)", func(b *testing.B) {
+		run(b, core.DefaultPlannerConfig(), flowsim.SP)
+	})
+	b.Run("1hop", func(b *testing.B) {
+		run(b, core.PlannerConfig{Mode: core.CapacityAware, ExtraHop: false, MaxCandidates: 8}, flowsim.INRP)
+	})
+	b.Run("1hop+extra", func(b *testing.B) {
+		run(b, core.PlannerConfig{Mode: core.CapacityAware, ExtraHop: true, MaxCandidates: 8}, flowsim.INRP)
+	})
+}
+
+// BenchmarkAblationBlindDetour compares capacity-aware detouring (routers
+// exchange neighbour utilisation, §3.3 option i) against blind equal
+// splitting (option ii) in the chunk-level simulator.
+func BenchmarkAblationBlindDetour(b *testing.B) {
+	run := func(b *testing.B, mode core.PlannerMode) {
+		var delivered int64
+		for i := 0; i < b.N; i++ {
+			g := topo.Fig3()
+			s, err := chunknet.New(chunknet.Config{
+				Graph: g, Transport: chunknet.INRPP,
+				ChunkSize: 10 * units.KB, Anticipation: 64,
+				CustodyBytes: 50 * units.MB, InitialRequestRate: 10 * units.Mbps,
+				Ti:      5 * time.Millisecond,
+				Planner: core.PlannerConfig{Mode: mode, ExtraHop: true, MaxCandidates: 8},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.AddTransfer(chunknet.Transfer{ID: 1, Src: 0, Dst: 2, Chunks: 400}); err != nil {
+				b.Fatal(err)
+			}
+			rep := s.Run(10 * time.Second)
+			delivered = rep.DeliveredPerFlow[1]
+		}
+		b.ReportMetric(float64(delivered), "chunks")
+	}
+	b.Run("capacity-aware", func(b *testing.B) { run(b, core.CapacityAware) })
+	b.Run("blind", func(b *testing.B) { run(b, core.Blind) })
+}
+
+// BenchmarkAblationAnticipation sweeps the Ac anticipation window: 0 is a
+// pure closed loop, larger values push more speculative data into the
+// network (§3.2).
+func BenchmarkAblationAnticipation(b *testing.B) {
+	for _, ac := range []int64{1, 8, 64} {
+		b.Run("Ac="+itoa(ac), func(b *testing.B) {
+			var fct time.Duration
+			for i := 0; i < b.N; i++ {
+				g := topo.Line(4)
+				s, err := chunknet.New(chunknet.Config{
+					Graph: g, Transport: chunknet.INRPP,
+					ChunkSize: 10 * units.KB, Anticipation: ac,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.AddTransfer(chunknet.Transfer{ID: 1, Src: 0, Dst: 3, Chunks: 400}); err != nil {
+					b.Fatal(err)
+				}
+				rep := s.Run(30 * time.Second)
+				fct = rep.Completions[1]
+			}
+			b.ReportMetric(fct.Seconds(), "fct_s")
+		})
+	}
+}
+
+// BenchmarkAblationCacheSize sweeps the custody budget: zero custody
+// degenerates to a plain buffer (drops under surge), the paper's sizing
+// absorbs the full push.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	// 1B stands in for "no custody" (a zero Custody field would select the
+	// experiment's 10GB default). Back-pressure alone already avoids
+	// drops; what custody buys is absorption — more of the open-loop push
+	// delivered within the horizon.
+	for _, custody := range []units.ByteSize{units.Byte, 100 * units.MB, units.GB} {
+		b.Run(custody.String(), func(b *testing.B) {
+			var drops int64
+			var peakMB float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Custody(experiments.CustodyConfig{
+					IngressRate: 4 * units.Gbps,
+					EgressRate:  200 * units.Mbps,
+					Custody:     custody,
+					Buffer:      2 * units.MB,
+					ChunkSize:   units.MB,
+					Chunks:      600,
+					Horizon:     4 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				drops = r.INRPP.Dropped
+				peakMB = float64(r.INRPP.CustodyPeak) / float64(units.MB)
+			}
+			b.ReportMetric(float64(drops), "drops")
+			b.ReportMetric(peakMB, "peakMB")
+		})
+	}
+}
+
+// benchWorkload builds a deterministic gravity workload for ablations.
+func benchWorkload(g *topo.Graph, count int) []workload.Flow {
+	return workload.Generate(workload.Spec{
+		Arrivals: workload.NewPoisson(30, 1),
+		Sizes:    workload.NewBoundedPareto(1.5, 10*units.MB, 1200*units.MB, 2),
+		Matrix:   workload.NewGravity(g, 3),
+		Count:    count,
+	})
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

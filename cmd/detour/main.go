@@ -1,0 +1,64 @@
+// Command detour analyses the detour availability of a topology — the
+// per-link classification behind the paper's Table 1.
+//
+// Usage:
+//
+//	detour [-isp "Level 3"] [-json topology.json] [-links]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+func main() {
+	ispName := flag.String("isp", "", "built-in ISP topology to analyse (default: all nine)")
+	jsonPath := flag.String("json", "", "analyse a topology from a JSON file instead")
+	perLink := flag.Bool("links", false, "also print the per-link classification")
+	flag.Parse()
+
+	switch {
+	case *jsonPath != "":
+		f, err := os.Open(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		g, err := topo.ReadJSON(f)
+		if err != nil {
+			fatal(err)
+		}
+		analyse(g, *perLink)
+	case *ispName != "":
+		g, err := topo.BuildISP(topo.ISP(*ispName))
+		if err != nil {
+			fatal(fmt.Errorf("%w (known: %v)", err, topo.ISPs()))
+		}
+		analyse(g, *perLink)
+	default:
+		for _, isp := range topo.ISPs() {
+			analyse(topo.MustBuildISP(isp), *perLink)
+		}
+	}
+}
+
+func analyse(g *topo.Graph, perLink bool) {
+	prof := route.Analyze(g)
+	fmt.Printf("%-14s %s\n", g.Name(), prof)
+	if !perLink {
+		return
+	}
+	for _, l := range g.Links() {
+		class := prof.PerLink[l.ID]
+		fmt.Printf("  link %3d  %3d-%-3d  %-8s cap=%v\n", l.ID, l.A, l.B, class, l.Capacity)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "detour:", err)
+	os.Exit(1)
+}

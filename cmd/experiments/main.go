@@ -1,0 +1,116 @@
+// Command experiments regenerates every table and figure of the paper,
+// printing paper-vs-measured values.
+//
+// Usage:
+//
+//	experiments [-run all|table1|fig4a|fig4b|fig3|custody] [-seeds N]
+//	            [-horizon 15s] [-format table|csv] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all|table1|fig4a|fig4b|fig3|custody")
+	seeds := flag.Int("seeds", 3, "workload seeds for fig4")
+	horizon := flag.Duration("horizon", 15*time.Second, "virtual horizon per fig4 run")
+	format := flag.String("format", "table", "output format: table|csv")
+	quick := flag.Bool("quick", false, "reduced fig4/custody scale for a fast pass")
+	flag.Parse()
+
+	emit := func(t *report.Table) {
+		var err error
+		if *format == "csv" {
+			err = t.RenderCSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	wantFig4 := *run == "all" || *run == "fig4a" || *run == "fig4b"
+
+	if *run == "all" || *run == "table1" {
+		rows, err := experiments.Table1()
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Table1Report(rows))
+		fmt.Printf("max per-class calibration error: %.2f%%\n\n", 100*experiments.MaxAbsError(rows))
+	}
+
+	if wantFig4 {
+		cfg := experiments.DefaultFig4Config()
+		cfg.Seeds = *seeds
+		cfg.Horizon = *horizon
+		if *quick {
+			cfg.ISPs = []topo.ISP{topo.Exodus}
+			cfg.TargetActive = 120
+			cfg.Horizon = 8 * time.Second
+			cfg.Seeds = 1
+		}
+		fmt.Println("running fig4 (this sweeps 3 policies × seeds × topologies)...")
+		res, err := experiments.Fig4(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *run == "all" || *run == "fig4a" {
+			emit(experiments.Fig4aReport(res))
+		}
+		if *run == "all" || *run == "fig4b" {
+			emit(experiments.Fig4bReport(res))
+			for _, r := range res {
+				fmt.Printf("# CDF points — %s\n", r.ISP)
+				for _, p := range experiments.Fig4bCurve(r, 12) {
+					fmt.Printf("  stretch=%.3f F=%.3f\n", p.X, p.F)
+				}
+			}
+			fmt.Println()
+		}
+	}
+
+	if *run == "all" || *run == "fig3" {
+		r, err := experiments.Fig3()
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Fig3Report(r))
+	}
+
+	if *run == "all" || *run == "custody" {
+		cfg := experiments.CustodyConfig{}
+		if *quick {
+			cfg = experiments.CustodyConfig{
+				IngressRate: 4 * units.Gbps,
+				EgressRate:  200 * units.Mbps,
+				Custody:     units.GB,
+				Buffer:      2 * units.MB,
+				ChunkSize:   units.MB,
+				Chunks:      600,
+				Horizon:     4 * time.Second,
+			}
+		}
+		r, err := experiments.Custody(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.CustodyReport(r))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

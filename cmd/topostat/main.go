@@ -1,0 +1,60 @@
+// Command topostat prints structural statistics of the built-in
+// topologies and can export them as JSON.
+//
+// Usage:
+//
+//	topostat                     # stats for all nine ISPs
+//	topostat -isp "Level 3"      # one ISP
+//	topostat -isp VSNL -export vsnl.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topo"
+)
+
+func main() {
+	ispName := flag.String("isp", "", "built-in ISP topology (default: all)")
+	export := flag.String("export", "", "write the topology as JSON to this file")
+	flag.Parse()
+
+	var graphs []*topo.Graph
+	if *ispName != "" {
+		g, err := topo.BuildISP(topo.ISP(*ispName))
+		if err != nil {
+			fatal(fmt.Errorf("%w (known: %v)", err, topo.ISPs()))
+		}
+		graphs = append(graphs, g)
+	} else {
+		for _, isp := range topo.ISPs() {
+			graphs = append(graphs, topo.MustBuildISP(isp))
+		}
+	}
+
+	for _, g := range graphs {
+		fmt.Println(topo.ComputeStats(g))
+	}
+
+	if *export != "" {
+		if len(graphs) != 1 {
+			fatal(fmt.Errorf("-export needs a single -isp"))
+		}
+		f, err := os.Create(*export)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := graphs[0].WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *export)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topostat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func BenchmarkCustodyOfferPop(b *testing.B) {
+	c := NewCustody(units.GB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * time.Microsecond
+		c.Offer(uint64(i), 10*units.KB, now)
+		if i%2 == 1 {
+			c.Pop(now)
+		}
+	}
+}
+
+func BenchmarkLRUGetPut(b *testing.B) {
+	l := NewLRU(units.MB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i % 500)
+		if !l.Get(key) {
+			l.Put(key, 4*units.KB)
+		}
+	}
+}

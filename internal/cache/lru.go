@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"container/list"
+
+	"repro/internal/units"
+)
+
+// LRU is a byte-capacity least-recently-used content store, the
+// conventional ICN cache the paper contrasts custody caching against.
+type LRU struct {
+	capacity units.ByteSize
+	used     units.ByteSize
+	ll       *list.List               // front = most recent
+	items    map[uint64]*list.Element // key -> element
+	hits     int
+	misses   int
+}
+
+type lruEntry struct {
+	key  uint64
+	size units.ByteSize
+}
+
+// NewLRU returns an LRU store with the given byte capacity.
+func NewLRU(capacity units.ByteSize) *LRU {
+	return &LRU{capacity: capacity, ll: list.New(), items: make(map[uint64]*list.Element)}
+}
+
+// Get looks the key up, marking it most-recently-used on a hit.
+func (l *LRU) Get(key uint64) bool {
+	el, ok := l.items[key]
+	if !ok {
+		l.misses++
+		return false
+	}
+	l.ll.MoveToFront(el)
+	l.hits++
+	return true
+}
+
+// Put inserts (or refreshes) an object, evicting least-recently-used
+// entries to make room. Objects larger than the whole capacity are not
+// admitted.
+func (l *LRU) Put(key uint64, size units.ByteSize) {
+	if el, ok := l.items[key]; ok {
+		l.ll.MoveToFront(el)
+		return
+	}
+	if size > l.capacity {
+		return
+	}
+	for l.used+size > l.capacity {
+		l.evictOldest()
+	}
+	el := l.ll.PushFront(lruEntry{key: key, size: size})
+	l.items[key] = el
+	l.used += size
+}
+
+// Contains reports presence without affecting recency or hit counters.
+func (l *LRU) Contains(key uint64) bool {
+	_, ok := l.items[key]
+	return ok
+}
+
+// Len returns the number of cached objects.
+func (l *LRU) Len() int { return l.ll.Len() }
+
+// Used returns the bytes currently cached.
+func (l *LRU) Used() units.ByteSize { return l.used }
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (l *LRU) HitRatio() float64 {
+	total := l.hits + l.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.hits) / float64(total)
+}
+
+func (l *LRU) evictOldest() {
+	el := l.ll.Back()
+	if el == nil {
+		return
+	}
+	entry := el.Value.(lruEntry)
+	l.ll.Remove(el)
+	delete(l.items, entry.key)
+	l.used -= entry.size
+}

@@ -1,0 +1,127 @@
+package chunknet
+
+import (
+	"repro/internal/des"
+)
+
+// This file implements the TCP-Reno-flavoured AIMD baseline: a sender-
+// driven sliding window with slow start, additive increase, fast
+// retransmit on triple duplicate acks and a coarse retransmission
+// timeout, over the same links — whose stores act as plain drop-tail
+// buffers in this mode. It is the "closed feedback loop … resource
+// probing" design the paper argues against (§2.1), used as the
+// comparison point in the custody/back-pressure experiment.
+
+// rtoTimer wraps a cancellable DES timer.
+type rtoTimer struct{ t *des.Timer }
+
+func (r *rtoTimer) cancel() {
+	if r != nil && r.t != nil {
+		r.t.Cancel()
+	}
+}
+
+// aimdStart opens the flow: slow-start from a small window.
+func (s *Sim) aimdStart(f *flowState) {
+	s.aimdTrySend(f)
+	s.aimdResetRTO(f)
+}
+
+// aimdTrySend pushes data while the window allows.
+func (s *Sim) aimdTrySend(f *flowState) {
+	for f.aimdNext < f.tr.Chunks && float64(f.aimdNext-f.lastCum) <= f.cwnd {
+		s.aimdSendChunk(f, f.aimdNext)
+		f.aimdNext++
+	}
+}
+
+func (s *Sim) aimdSendChunk(f *flowState, seq int64) {
+	p := s.makeDataPacket(f, seq)
+	p.detourBudget = 0 // single-path: AIMD never detours
+	if len(f.dataPath) < 2 {
+		s.deliver(p)
+		return
+	}
+	s.arcFor(f.tr.Src, f.dataPath[1]).send(p)
+}
+
+// aimdAckData runs at the receiver when a chunk arrives: send a
+// cumulative ack back to the sender.
+func (s *Sim) aimdAckData(f *flowState) {
+	p := &packet{
+		kind:    pktAck,
+		flow:    f.tr.ID,
+		cum:     f.win.Next() - 1,
+		size:    s.cfg.RequestSize,
+		rest:    f.reqPath[1:].Clone(),
+		prevHop: f.tr.Dst,
+	}
+	if len(f.reqPath) < 2 {
+		s.onAck(p)
+		return
+	}
+	s.arcFor(f.tr.Dst, f.reqPath[1]).send(p)
+}
+
+// onAck is the AIMD sender's ack handler: window growth on progress,
+// fast retransmit on triple duplicates.
+func (s *Sim) onAck(p *packet) {
+	f := s.flows[p.flow]
+	if f.done && f.win.Done() {
+		return
+	}
+	if p.cum > f.lastCum {
+		f.lastCum = p.cum
+		f.dup = 0
+		if f.cwnd < f.ssthresh {
+			f.cwnd++ // slow start
+		} else {
+			f.cwnd += 1 / f.cwnd // congestion avoidance
+		}
+		s.aimdResetRTO(f)
+		s.aimdTrySend(f)
+		return
+	}
+	f.dup++
+	if f.dup >= 3 {
+		f.dup = 0
+		f.ssthresh = f.cwnd / 2
+		if f.ssthresh < 2 {
+			f.ssthresh = 2
+		}
+		f.cwnd = f.ssthresh
+		s.aimdRetransmit(f)
+	}
+}
+
+// aimdRetransmit resends the first unacknowledged chunk.
+func (s *Sim) aimdRetransmit(f *flowState) {
+	seq := f.lastCum + 1
+	if seq >= f.tr.Chunks || f.win.Received(seq) {
+		return
+	}
+	s.rep.Retransmits++
+	s.aimdSendChunk(f, seq)
+	s.aimdResetRTO(f)
+}
+
+// aimdResetRTO (re)arms the retransmission timeout.
+func (s *Sim) aimdResetRTO(f *flowState) {
+	f.rto.cancel()
+	f.rto = &rtoTimer{t: s.des.After(s.cfg.RTO, func() { s.aimdTimeout(f) })}
+}
+
+// aimdTimeout is the coarse timeout: collapse to one segment and go back
+// to the first unacked chunk.
+func (s *Sim) aimdTimeout(f *flowState) {
+	if f.done {
+		return
+	}
+	f.ssthresh = f.cwnd / 2
+	if f.ssthresh < 2 {
+		f.ssthresh = 2
+	}
+	f.cwnd = 1
+	f.aimdNext = f.lastCum + 1
+	s.aimdRetransmit(f)
+}

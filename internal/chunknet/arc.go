@@ -1,0 +1,185 @@
+package chunknet
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// packetKind discriminates the packet types on the wire.
+type packetKind int
+
+const (
+	pktData    packetKind = iota
+	pktRequest            // INRPP request ⟨Nc, ACKc, Ac⟩ (also used as a resend ask)
+	pktAck                // AIMD cumulative ack
+	pktBpOn               // back-pressure notification
+	pktBpOff              // back-pressure release
+)
+
+// packet is anything travelling over an arc.
+type packet struct {
+	kind packetKind
+	flow int
+	seq  int64
+	size units.ByteSize
+
+	// rest lists the nodes still to visit, in order; empty at the final
+	// destination. Detours splice tunnel nodes onto the front.
+	rest route.Path
+
+	// detourBudget is how many further one-hop detours the chunk may
+	// take — the paper allows detour nodes "one extra hop only".
+	detourBudget int
+	detoured     bool
+
+	prevHop topo.NodeID
+
+	// AIMD ack payload.
+	cum int64
+
+	// Back-pressure payload.
+	bpArc  topo.Arc
+	bpRate units.BitRate
+	resend bool
+}
+
+// arcState is one direction of one link: serializer, control queue, and
+// the unified buffer+custody store of the INRPP design (for AIMD the
+// store is just a drop-tail buffer).
+type arcState struct {
+	sim  *Sim
+	arc  topo.Arc
+	from topo.NodeID
+	to   topo.NodeID
+
+	baseRate units.BitRate
+	capRate  units.BitRate // possibly reduced by back-pressure
+	delay    time.Duration
+
+	busy  bool
+	ctrl  []*packet // control packets bypass the data store
+	store *cache.Custody
+	pkts  map[uint64]*packet
+	seqNo uint64
+
+	iface    *core.Interface
+	sentBits float64       // since last estimator tick
+	lastRate units.BitRate // EWMA-smoothed measured throughput
+	antRate  units.BitRate // EWMA-smoothed anticipated rate (eq. 1)
+
+	bpActive   bool                 // this arc has signalled back-pressure
+	bpNotified map[topo.NodeID]bool // neighbors notified
+	limited    bool                 // capRate reduced by an upstream notification
+}
+
+// send places a packet onto the arc: control packets take the priority
+// lane, data goes through the store (buffer+custody). Returns false when
+// the packet was dropped (store full).
+func (a *arcState) send(p *packet) bool {
+	now := a.sim.des.Now()
+	if p.kind != pktData {
+		a.ctrl = append(a.ctrl, p)
+		a.kick()
+		return true
+	}
+	key := a.seqNo
+	a.seqNo++
+	if !a.store.Offer(key, p.size, now) {
+		a.sim.rep.ChunksDropped++
+		return false
+	}
+	a.pkts[key] = p
+	a.sim.checkBackpressure(a, p)
+	a.kick()
+	return true
+}
+
+// kick starts the serializer if it is idle and work is pending.
+func (a *arcState) kick() {
+	if a.busy {
+		return
+	}
+	p := a.next()
+	if p == nil {
+		return
+	}
+	a.transmit(p)
+}
+
+// next pops the next packet to serialise: control first, then the store
+// in FIFO order, then freshly scheduled sender chunks.
+func (a *arcState) next() *packet {
+	if len(a.ctrl) > 0 {
+		p := a.ctrl[0]
+		a.ctrl = a.ctrl[1:]
+		return p
+	}
+	if item, ok := a.store.Pop(a.sim.des.Now()); ok {
+		p := a.pkts[item.Key]
+		delete(a.pkts, item.Key)
+		a.maybeReleaseBackpressure()
+		return p
+	}
+	// Source scheduling: arcs leaving a sender pull the next chunk on
+	// demand, which is what paces open-loop push to the link rate.
+	return a.sim.nextSenderChunk(a)
+}
+
+// transmit serialises p and schedules its arrival at the far end.
+func (a *arcState) transmit(p *packet) {
+	a.busy = true
+	rate := a.capRate
+	if rate <= 0 {
+		rate = units.BitRate(1) // fully throttled: crawl, don't stall forever
+	}
+	tx := rate.TransmissionTime(p.size)
+	a.sentBits += float64(p.size) * 8
+	a.sim.des.After(tx, func() {
+		a.busy = false
+		arrive := p
+		a.sim.des.After(a.delay, func() { a.sim.arrive(arrive, a) })
+		a.kick()
+	})
+}
+
+// measuredResidual estimates the spare capacity of the arc from the last
+// estimator tick — the "average link utilisation" neighbours exchange in
+// the capacity-aware detour variant (§3.3).
+func (a *arcState) measuredResidual() units.BitRate {
+	res := a.capRate - a.lastRate
+	if res < 0 {
+		return 0
+	}
+	return res
+}
+
+// occupancyFraction is the filled share of the store.
+func (a *arcState) occupancyFraction() float64 {
+	capacity := a.store.Capacity()
+	if capacity == 0 {
+		return 1
+	}
+	return float64(a.store.Used()) / float64(capacity)
+}
+
+// maybeReleaseBackpressure lifts back-pressure once the store has drained
+// below the low watermark.
+func (a *arcState) maybeReleaseBackpressure() {
+	if !a.bpActive || a.occupancyFraction() > a.sim.cfg.BackpressureLow {
+		return
+	}
+	a.bpActive = false
+	for n := range a.bpNotified {
+		a.sim.sendControl(a.from, n, &packet{
+			kind:  pktBpOff,
+			size:  a.sim.cfg.RequestSize,
+			bpArc: a.arc,
+		})
+	}
+	a.bpNotified = nil
+}

@@ -1,0 +1,346 @@
+// Package chunknet is the chunk-level discrete-event simulator of the
+// INRPP reproduction: named chunks move over capacitated links between
+// receiver-driven endpoints, through routers that run the paper's
+// three-phase interface machinery (push-data / detour / back-pressure)
+// with custody caches, per-interface anticipated-rate estimation and
+// explicit back-pressure notifications.
+//
+// Two transports share the same links and topology:
+//
+//   - INRPP — the paper's design (§3.2–3.3);
+//   - AIMD — a TCP-Reno-flavoured single-path baseline with drop-tail
+//     queues, used by the custody/back-pressure experiment to show what
+//     the paper's store-and-forward custody avoids.
+//
+// The simulator is single-threaded and deterministic.
+package chunknet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// Transport selects the protocol stack of a run.
+type Transport int
+
+// The two transports.
+const (
+	INRPP Transport = iota
+	AIMD
+)
+
+// String names the transport.
+func (t Transport) String() string {
+	switch t {
+	case INRPP:
+		return "INRPP"
+	case AIMD:
+		return "AIMD"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// Config describes a chunk-level simulation.
+type Config struct {
+	Graph     *topo.Graph
+	Transport Transport
+
+	// ChunkSize is the data chunk payload size (default 100KB).
+	ChunkSize units.ByteSize
+	// RequestSize is the size of request/ack/notification packets
+	// (default 100B).
+	RequestSize units.ByteSize
+	// Anticipation is the Ac window: how many chunks ahead of the
+	// application's needs receivers request (default 8).
+	Anticipation int64
+	// InitialRequestRate seeds the receiver's request pacing before any
+	// data has arrived (default 10Mbps equivalent).
+	InitialRequestRate units.BitRate
+
+	// QueueBytes is the plain output-buffer budget per arc (default
+	// 64×ChunkSize). For AIMD this is the whole drop-tail buffer.
+	QueueBytes units.ByteSize
+	// CustodyBytes is the additional custody-store budget per arc under
+	// INRPP (default 0: pure buffer).
+	CustodyBytes units.ByteSize
+
+	// Ti is the estimator interval (default 10ms).
+	Ti time.Duration
+	// Planner configures detour planning (default core.DefaultPlannerConfig).
+	Planner core.PlannerConfig
+	// Iface configures phase thresholds (default core.DefaultInterfaceConfig).
+	Iface core.InterfaceConfig
+	// BackpressureHigh and BackpressureLow are the custody occupancy
+	// fractions that trigger and release back-pressure (defaults 0.7/0.3).
+	BackpressureHigh, BackpressureLow float64
+
+	// RTO is the AIMD retransmission timeout (default 200ms).
+	RTO time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 100 * units.KB
+	}
+	if c.RequestSize == 0 {
+		c.RequestSize = 100 * units.Byte
+	}
+	if c.Anticipation == 0 {
+		c.Anticipation = 8
+	}
+	if c.InitialRequestRate == 0 {
+		c.InitialRequestRate = 10 * units.Mbps
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 64 * c.ChunkSize
+	}
+	if c.Ti == 0 {
+		c.Ti = 10 * time.Millisecond
+	}
+	if c.Planner == (core.PlannerConfig{}) {
+		c.Planner = core.DefaultPlannerConfig()
+	}
+	if c.Iface == (core.InterfaceConfig{}) {
+		c.Iface = core.DefaultInterfaceConfig()
+	}
+	if c.BackpressureHigh == 0 {
+		c.BackpressureHigh = 0.7
+	}
+	if c.BackpressureLow == 0 {
+		c.BackpressureLow = 0.3
+	}
+	if c.RTO == 0 {
+		c.RTO = 200 * time.Millisecond
+	}
+}
+
+// Transfer is one content transfer: Chunks chunks flow from the content
+// source Src to the receiver Dst, starting at Start.
+type Transfer struct {
+	ID     int
+	Src    topo.NodeID
+	Dst    topo.NodeID
+	Chunks int64
+	Start  time.Duration
+}
+
+// Report aggregates a run's outcome.
+type Report struct {
+	Transport Transport
+	Duration  time.Duration
+
+	ChunksSent      int64
+	ChunksDelivered int64
+	ChunksDropped   int64
+	ChunksDetoured  int64
+	Retransmits     int64
+
+	// Completions maps transfer ID to completion time; unfinished
+	// transfers are absent.
+	Completions map[int]time.Duration
+	// DeliveredPerFlow maps transfer ID to distinct chunks delivered.
+	DeliveredPerFlow map[int]int64
+
+	// CustodyPeak is the largest custody+queue occupancy seen on any arc.
+	CustodyPeak units.ByteSize
+	// CustodyResidency summarises seconds spent in store across all arcs.
+	CustodyResidency stats.Summary
+	// BackpressureOn counts back-pressure notifications sent.
+	BackpressureOn int
+	// ClosedLoopEntries counts flows pushed into sender closed-loop mode.
+	ClosedLoopEntries int
+}
+
+// Sim is a configured chunk-level simulation.
+type Sim struct {
+	cfg     Config
+	g       *topo.Graph
+	des     *des.Simulator
+	planner *core.Planner
+
+	nodes []*nodeState
+	arcs  []*arcState // indexed 2*link+dir
+
+	flows   map[int]*flowState
+	flowIDs []int
+	spTrees map[topo.NodeID]*route.Tree
+
+	rep Report
+}
+
+// nodeState is one router/host in the simulation.
+type nodeState struct {
+	id      topo.NodeID
+	arcIdx  []int32                      // outgoing arc index per local interface
+	ifaceOf map[topo.NodeID]core.IfaceID // neighbor → local interface id
+	est     *core.Estimator
+	schedRR int   // round-robin cursor over local sender flows
+	senders []int // transfer IDs originating here
+}
+
+// New builds a simulation over g.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("chunknet: nil graph")
+	}
+	cfg.applyDefaults()
+	s := &Sim{
+		cfg:     cfg,
+		g:       cfg.Graph,
+		des:     des.New(),
+		planner: core.NewPlanner(cfg.Graph, cfg.Planner),
+		flows:   make(map[int]*flowState),
+		spTrees: make(map[topo.NodeID]*route.Tree),
+	}
+	s.rep.Transport = cfg.Transport
+	s.rep.Completions = make(map[int]time.Duration)
+	s.rep.DeliveredPerFlow = make(map[int]int64)
+
+	links := s.g.NumLinks()
+	s.arcs = make([]*arcState, 2*links)
+	s.nodes = make([]*nodeState, s.g.NumNodes())
+	for _, n := range s.g.Nodes() {
+		ns := &nodeState{id: n.ID, ifaceOf: make(map[topo.NodeID]core.IfaceID)}
+		for _, lid := range s.g.IncidentLinks(n.ID) {
+			l := s.g.Link(lid)
+			dir := l.DirectionFrom(n.ID)
+			idx := int32(2*int(lid) + int(dir))
+			iface := core.IfaceID(len(ns.arcIdx))
+			ns.ifaceOf[l.Other(n.ID)] = iface
+			ns.arcIdx = append(ns.arcIdx, idx)
+
+			storeCap := cfg.QueueBytes
+			if cfg.Transport == INRPP {
+				storeCap += cfg.CustodyBytes
+			}
+			s.arcs[idx] = &arcState{
+				sim:      s,
+				arc:      topo.Arc{Link: lid, Dir: dir},
+				from:     n.ID,
+				to:       l.Other(n.ID),
+				baseRate: l.Capacity,
+				capRate:  l.Capacity,
+				delay:    l.Delay,
+				store:    cache.NewCustody(storeCap),
+				pkts:     make(map[uint64]*packet),
+			}
+		}
+		if len(ns.arcIdx) > 0 {
+			ns.est = core.NewEstimator(len(ns.arcIdx), cfg.ChunkSize, cfg.Ti)
+		}
+		s.nodes[n.ID] = ns
+	}
+	for _, a := range s.arcs {
+		if a != nil {
+			a.iface = core.NewInterface(a.baseRate, cfg.Iface)
+		}
+	}
+	return s, nil
+}
+
+// AddTransfer registers a transfer before Run. Transfers with unreachable
+// endpoints are rejected.
+func (s *Sim) AddTransfer(tr Transfer) error {
+	if _, dup := s.flows[tr.ID]; dup {
+		return fmt.Errorf("chunknet: duplicate transfer ID %d", tr.ID)
+	}
+	tree, ok := s.spTrees[tr.Src]
+	if !ok {
+		tree = route.Dijkstra(s.g, tr.Src, nil, nil)
+		s.spTrees[tr.Src] = tree
+	}
+	dataPath := tree.PathTo(tr.Dst)
+	if dataPath == nil {
+		return fmt.Errorf("chunknet: no path %d→%d", tr.Src, tr.Dst)
+	}
+	f := &flowState{
+		tr:         tr,
+		dataPath:   dataPath,
+		reqPath:    reversePath(dataPath),
+		win:        core.NewWindow(tr.Chunks, s.cfg.Anticipation),
+		rateEst:    float64(s.cfg.InitialRequestRate),
+		nextReq:    0,
+		highestReq: -1,
+		cwnd:       2,
+		ssthresh:   64,
+		lastCum:    -1,
+	}
+	s.flows[tr.ID] = f
+	s.flowIDs = append(s.flowIDs, tr.ID)
+	s.nodes[tr.Src].senders = append(s.nodes[tr.Src].senders, tr.ID)
+	return nil
+}
+
+// Run executes the simulation until the given horizon (virtual time) and
+// returns the report. It can only be called once.
+func (s *Sim) Run(until time.Duration) *Report {
+	// Kick off per-flow activity.
+	for _, id := range s.flowIDs {
+		f := s.flows[id]
+		start := f.tr.Start
+		switch s.cfg.Transport {
+		case INRPP:
+			s.des.At(start, func() { s.requestLoop(f) })
+		case AIMD:
+			s.des.At(start, func() { s.aimdStart(f) })
+		}
+	}
+	// Periodic estimator ticks on every node (INRPP only).
+	if s.cfg.Transport == INRPP {
+		var tick func()
+		tick = func() {
+			s.tickEstimators()
+			if s.des.Now() < until {
+				s.des.After(s.cfg.Ti, tick)
+			}
+		}
+		s.des.After(s.cfg.Ti, tick)
+	}
+	s.des.RunUntil(until)
+	s.finalize(until)
+	return &s.rep
+}
+
+func (s *Sim) finalize(until time.Duration) {
+	s.rep.Duration = until
+	for _, id := range s.flowIDs {
+		f := s.flows[id]
+		s.rep.DeliveredPerFlow[id] = f.win.Count()
+	}
+	for _, a := range s.arcs {
+		if a == nil {
+			continue
+		}
+		st := a.store.Stats()
+		if st.HighWater > s.rep.CustodyPeak {
+			s.rep.CustodyPeak = st.HighWater
+		}
+		s.rep.CustodyResidency.Merge(a.store.ResidencySeconds())
+	}
+}
+
+// arcFor returns the outgoing arc state from node u toward neighbor v.
+func (s *Sim) arcFor(u, v topo.NodeID) *arcState {
+	l, ok := s.g.LinkBetween(u, v)
+	if !ok {
+		panic(fmt.Sprintf("chunknet: no link %d-%d", u, v))
+	}
+	return s.arcs[2*int(l.ID)+int(l.DirectionFrom(u))]
+}
+
+func reversePath(p route.Path) route.Path {
+	out := make(route.Path, len(p))
+	for i, n := range p {
+		out[len(p)-1-i] = n
+	}
+	return out
+}

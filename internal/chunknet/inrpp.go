@@ -1,0 +1,452 @@
+package chunknet
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// flowState carries the endpoint state of one transfer for both
+// transports.
+type flowState struct {
+	tr       Transfer
+	dataPath route.Path // src → dst
+	reqPath  route.Path // dst → src
+	win      *core.Window
+
+	// Receiver side (INRPP): request pacing tracks the data arrival rate
+	// (§3.2, "the receiver continuously adjusts its requesting rate to
+	// the incoming data rate").
+	rateEst  float64 // bits/s EWMA
+	lastData time.Duration
+	nextReq  int64 // next chunk to request
+	lastNack int64
+	done     bool
+
+	// Sender side (INRPP).
+	highestReq int64 // highest chunk covered by requests (incl. Ac)
+	nextSend   int64
+	resendQ    []int64
+	closedLoop bool
+	credits    int64 // closed loop: one chunk per arriving request
+
+	// AIMD sender.
+	cwnd     float64
+	ssthresh float64
+	aimdNext int64
+	lastCum  int64
+	dup      int
+	rto      *rtoTimer
+}
+
+// arrive dispatches a packet that reached the far end of arc a.
+func (s *Sim) arrive(p *packet, a *arcState) {
+	node := a.to
+	if len(p.rest) > 0 && p.rest[0] == node {
+		p.rest = p.rest[1:]
+	}
+	switch p.kind {
+	case pktData:
+		if len(p.rest) == 0 {
+			s.deliver(p)
+			return
+		}
+		s.forwardData(p, node)
+	case pktRequest:
+		if len(p.rest) == 0 {
+			s.onRequest(p)
+			return
+		}
+		s.forwardRequest(p, node)
+	case pktAck:
+		if len(p.rest) == 0 {
+			s.onAck(p)
+			return
+		}
+		s.forwardControl(p, node)
+	case pktBpOn:
+		s.onBackpressureOn(p, node)
+	case pktBpOff:
+		s.onBackpressureOff(p, node)
+	}
+}
+
+// forwardData routes a data chunk one hop further, applying the detour
+// phase when the nominal outgoing interface is congested (§3.3).
+func (s *Sim) forwardData(p *packet, node topo.NodeID) {
+	next := p.rest[0]
+	a := s.arcFor(node, next)
+	if s.cfg.Transport == INRPP && s.shouldDetour(a) && p.detourBudget > 0 {
+		if via, ok := s.pickDetour(a, p); ok {
+			p.detourBudget--
+			if !p.detoured {
+				p.detoured = true
+				s.rep.ChunksDetoured++
+			}
+			// Tunnel through via, rejoining the route at next.
+			p.rest = append(route.Path{via, next}, p.rest[1:]...)
+			a = s.arcFor(node, via)
+		}
+	}
+	// send() reads prevHop as the upstream to back-pressure, so update it
+	// only afterwards (same call stack: the stored packet carries the new
+	// value downstream).
+	a.send(p)
+	p.prevHop = node
+}
+
+// shouldDetour reports whether the arc's interface is in the detour phase
+// with actual backlog to shift.
+func (s *Sim) shouldDetour(a *arcState) bool {
+	return a.iface.Phase() == core.PhaseDetour && (a.busy || a.store.Len() > 0)
+}
+
+// pickDetour selects a one-hop detour neighbour around arc a with the
+// most spare measured capacity, spreading consecutive chunks across
+// viable candidates (the flowlet splitting of §3.3). Only one-hop
+// candidates qualify: the extra hop budget is the packet's to spend.
+func (s *Sim) pickDetour(a *arcState, p *packet) (topo.NodeID, bool) {
+	var viable []topo.NodeID
+	for _, sub := range s.planner.Candidates(a.arc.Link, a.arc.Dir) {
+		if sub.Extra != 1 {
+			continue
+		}
+		via := sub.Path[1]
+		out := s.arcFor(a.from, via)
+		back := s.arcFor(via, a.to)
+		if out.measuredResidual() > 0 && back.measuredResidual() > 0 {
+			viable = append(viable, via)
+		}
+	}
+	if len(viable) == 0 {
+		return 0, false
+	}
+	return viable[int(p.seq)%len(viable)], true
+}
+
+// forwardRequest records the request at this router's estimator (eq. 1)
+// and forwards it toward the content source.
+func (s *Sim) forwardRequest(p *packet, node topo.NodeID) {
+	ns := s.nodes[node]
+	next := p.rest[0]
+	if ns.est != nil {
+		via := ns.ifaceOf[next]
+		dataIface, ok := ns.ifaceOf[p.prevHop]
+		if ok {
+			ns.est.RecordRequest(via, dataIface, 1)
+		}
+	}
+	s.arcFor(node, next).send(p)
+	p.prevHop = node
+}
+
+// forwardControl moves acks and other control packets along their path.
+func (s *Sim) forwardControl(p *packet, node topo.NodeID) {
+	s.arcFor(node, p.rest[0]).send(p)
+	p.prevHop = node
+}
+
+// deliver hands a data chunk to its receiver.
+func (s *Sim) deliver(p *packet) {
+	f := s.flows[p.flow]
+	now := s.des.Now()
+	if !f.win.OnData(p.seq) {
+		return // duplicate
+	}
+	s.rep.ChunksDelivered++
+	// Track the incoming data rate for request pacing.
+	gap := (now - f.lastData).Seconds()
+	if f.lastData > 0 && gap > 0 {
+		sample := s.cfg.ChunkSize.Bits() / gap
+		f.rateEst = 0.75*f.rateEst + 0.25*sample
+	}
+	f.lastData = now
+	if s.cfg.Transport == AIMD {
+		s.aimdAckData(f)
+	}
+	if f.win.Done() && !f.done {
+		f.done = true
+		s.rep.Completions[f.tr.ID] = now - f.tr.Start
+	}
+}
+
+// requestLoop is the INRPP receiver: it paces ⟨Nc, ACKc, Ac⟩ requests at
+// the estimated data rate, re-requesting stalled chunks via explicit
+// NACK-like asks (§3.2: losses are identified by explicit timers or
+// NACKs, not by out-of-order delivery).
+func (s *Sim) requestLoop(f *flowState) {
+	if f.done {
+		return
+	}
+	now := s.des.Now()
+	req := f.win.Request()
+	limit := req.Anticipated
+	switch {
+	case f.nextReq <= limit && f.nextReq < f.tr.Chunks:
+		s.sendRequest(f, f.nextReq, false)
+		f.nextReq++
+	case f.win.Next() < f.nextReq && now-f.lastData > 300*time.Millisecond:
+		// Stalled: re-request the first missing chunk once per stall.
+		if missing := f.win.Next(); missing != f.lastNack {
+			f.lastNack = missing
+			s.sendRequest(f, missing, true)
+		}
+	}
+	interval := time.Duration(s.cfg.ChunkSize.Bits() / f.rateEst * float64(time.Second))
+	if interval < 10*time.Microsecond {
+		interval = 10 * time.Microsecond
+	}
+	if interval > 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	s.des.After(interval, func() { s.requestLoop(f) })
+}
+
+func (s *Sim) sendRequest(f *flowState, seq int64, resend bool) {
+	p := &packet{
+		kind:    pktRequest,
+		flow:    f.tr.ID,
+		seq:     seq,
+		size:    s.cfg.RequestSize,
+		rest:    f.reqPath[1:].Clone(),
+		prevHop: f.tr.Dst,
+		resend:  resend,
+	}
+	if len(f.reqPath) == 1 {
+		// Degenerate: source and receiver on the same node.
+		s.onRequest(p)
+		return
+	}
+	s.arcFor(f.tr.Dst, f.reqPath[1]).send(p)
+}
+
+// onRequest is the INRPP sender's request handler: extend the pushed
+// horizon by the anticipation window, grant a closed-loop credit, queue
+// explicit resends, and kick the outgoing serializer.
+func (s *Sim) onRequest(p *packet) {
+	f := s.flows[p.flow]
+	horizon := p.seq + s.cfg.Anticipation
+	if horizon > f.tr.Chunks-1 {
+		horizon = f.tr.Chunks - 1
+	}
+	if horizon > f.highestReq {
+		f.highestReq = horizon
+	}
+	if p.resend && p.seq < f.nextSend {
+		f.resendQ = append(f.resendQ, p.seq)
+	}
+	if f.closedLoop {
+		f.credits++
+	}
+	s.kickSender(f)
+}
+
+// kickSender pokes the sender's outgoing arc so the pull scheduler runs.
+func (s *Sim) kickSender(f *flowState) {
+	if len(f.dataPath) < 2 {
+		// Same-node transfer: deliver directly.
+		for {
+			seq, ok := s.senderNextSeq(f)
+			if !ok {
+				return
+			}
+			s.deliver(s.makeDataPacket(f, seq))
+		}
+	}
+	s.arcFor(f.tr.Src, f.dataPath[1]).kick()
+}
+
+// nextSenderChunk is the open-loop push scheduler: when a sender-adjacent
+// arc goes idle it pulls the next chunk, round-robin across the flows
+// rooted at that node — processor sharing at chunk granularity (§3.2).
+func (s *Sim) nextSenderChunk(a *arcState) *packet {
+	if s.cfg.Transport != INRPP {
+		return nil
+	}
+	node := s.nodes[a.from]
+	n := len(node.senders)
+	for i := 0; i < n; i++ {
+		id := node.senders[(node.schedRR+i)%n]
+		f := s.flows[id]
+		if len(f.dataPath) < 2 || f.dataPath[1] != a.to {
+			continue // this flow leaves through a different interface
+		}
+		seq, ok := s.senderNextSeq(f)
+		if !ok {
+			continue
+		}
+		node.schedRR = (node.schedRR + i + 1) % n
+		return s.makeDataPacket(f, seq)
+	}
+	return nil
+}
+
+// senderNextSeq yields the next chunk a sender may push for flow f:
+// explicit resends first, then sequential chunks up to the requested
+// horizon (open loop) or per credit (closed loop).
+func (s *Sim) senderNextSeq(f *flowState) (int64, bool) {
+	if len(f.resendQ) > 0 {
+		seq := f.resendQ[0]
+		f.resendQ = f.resendQ[1:]
+		s.rep.Retransmits++
+		return seq, true
+	}
+	if f.nextSend >= f.tr.Chunks || f.nextSend > f.highestReq {
+		return 0, false
+	}
+	if f.closedLoop {
+		if f.credits <= 0 {
+			return 0, false
+		}
+		f.credits--
+	}
+	seq := f.nextSend
+	f.nextSend++
+	return seq, true
+}
+
+func (s *Sim) makeDataPacket(f *flowState, seq int64) *packet {
+	s.rep.ChunksSent++
+	return &packet{
+		kind:         pktData,
+		flow:         f.tr.ID,
+		seq:          seq,
+		size:         s.cfg.ChunkSize,
+		rest:         f.dataPath[1:].Clone(),
+		prevHop:      f.tr.Src,
+		detourBudget: 1,
+	}
+}
+
+// checkBackpressure fires the back-pressure phase when a store crosses
+// its high watermark: the congested node explicitly informs the one-hop
+// upstream neighbour that delivered the triggering chunk (§3.3).
+func (s *Sim) checkBackpressure(a *arcState, p *packet) {
+	if s.cfg.Transport != INRPP {
+		return
+	}
+	if a.occupancyFraction() < s.cfg.BackpressureHigh {
+		return
+	}
+	if a.bpNotified == nil {
+		a.bpNotified = make(map[topo.NodeID]bool)
+	}
+	up := p.prevHop
+	if up == a.from || a.bpNotified[up] {
+		return
+	}
+	a.bpActive = true
+	a.bpNotified[up] = true
+	s.rep.BackpressureOn++
+	// Ask the upstream for the store's drain rate: conservative, so the
+	// occupancy stops growing immediately. (CustodyTarget would allow the
+	// remaining custody headroom to keep absorbing, but the allowance is
+	// only safe if re-signalled every horizon; a one-shot notification
+	// must not over-promise.)
+	s.sendControl(a.from, up, &packet{
+		kind:   pktBpOn,
+		size:   s.cfg.RequestSize,
+		bpArc:  a.arc,
+		bpRate: a.baseRate,
+	})
+}
+
+// sendControl sends a one-hop control packet from node from to its
+// neighbour to.
+func (s *Sim) sendControl(from, to topo.NodeID, p *packet) {
+	p.prevHop = from
+	p.rest = route.Path{to}
+	s.arcFor(from, to).send(p)
+}
+
+// onBackpressureOn handles a slow-down notification at the upstream node:
+// senders flip the affected flows into closed-loop mode; transit nodes
+// throttle their arc toward the congested node, which (as their own
+// stores fill) propagates the pressure naturally one hop at a time.
+func (s *Sim) onBackpressureOn(p *packet, node topo.NodeID) {
+	ns := s.nodes[node]
+	congested := p.bpArc
+	for _, id := range ns.senders {
+		f := s.flows[id]
+		if !f.closedLoop && pathUsesArc(s.g, f.dataPath, congested) {
+			f.closedLoop = true
+			s.rep.ClosedLoopEntries++
+		}
+	}
+	// Throttle the arc feeding the congested node.
+	a := s.arcFor(node, p.prevHop)
+	if !a.limited {
+		a.limited = true
+		a.capRate = p.bpRate
+		if a.capRate > a.baseRate {
+			a.capRate = a.baseRate
+		}
+	}
+}
+
+// onBackpressureOff releases throttles and closed loops set by a previous
+// notification from the same neighbour.
+func (s *Sim) onBackpressureOff(p *packet, node topo.NodeID) {
+	ns := s.nodes[node]
+	for _, id := range ns.senders {
+		f := s.flows[id]
+		if f.closedLoop && pathUsesArc(s.g, f.dataPath, p.bpArc) {
+			f.closedLoop = false
+			s.kickSender(f)
+		}
+	}
+	a := s.arcFor(node, p.prevHop)
+	if a.limited {
+		a.limited = false
+		a.capRate = a.baseRate
+		a.kick()
+	}
+}
+
+// rateEWMA smooths per-tick rate measurements: a single measurement
+// window Ti can hold a fraction of a chunk on slow links, so raw
+// per-window rates quantise badly (0 or huge). Smoothing recovers the
+// mean the paper's routers would sample.
+const rateEWMA = 0.25
+
+// tickEstimators closes the measurement interval on every router:
+// anticipated rates from eq. 1, measured arc throughput for neighbour
+// state, and the phase update of every interface.
+func (s *Sim) tickEstimators() {
+	tiSec := s.cfg.Ti.Seconds()
+	for _, ns := range s.nodes {
+		if ns.est == nil {
+			continue
+		}
+		ns.est.Tick(s.des.Now())
+		for iface, idx := range ns.arcIdx {
+			a := s.arcs[idx]
+			instant := units.BitRate(a.sentBits / tiSec)
+			a.lastRate += units.BitRate(rateEWMA) * (instant - a.lastRate)
+			a.sentBits = 0
+			instantAnt := ns.est.AnticipatedRate(core.IfaceID(iface))
+			a.antRate += units.BitRate(rateEWMA) * (instantAnt - a.antRate)
+			hasDetour := s.planner.HasDetour(a.arc, func(b topo.Arc) units.BitRate {
+				return s.arcs[2*int(b.Link)+int(b.Dir)].measuredResidual()
+			})
+			a.iface.Update(a.antRate, hasDetour)
+		}
+	}
+}
+
+// pathUsesArc reports whether the path traverses the given directed arc.
+func pathUsesArc(g *topo.Graph, p route.Path, arc topo.Arc) bool {
+	for i := 0; i+1 < len(p); i++ {
+		l, ok := g.LinkBetween(p[i], p[i+1])
+		if !ok {
+			continue
+		}
+		if l.ID == arc.Link && l.DirectionFrom(p[i]) == arc.Dir {
+			return true
+		}
+	}
+	return false
+}

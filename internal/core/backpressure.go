@@ -1,0 +1,81 @@
+package core
+
+import (
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// Notification is the explicit back-pressure message a congested node
+// sends to its one-hop upstream neighbour (§3.3, back-pressure phase): a
+// request to forward traffic toward the congested interface at no more
+// than TargetRate.
+type Notification struct {
+	// CongestedArc identifies the link direction whose demand exceeds
+	// supply.
+	CongestedArc topo.Arc
+	// TargetRate is the forwarding rate the congested node can absorb
+	// (link rate plus current custody drain headroom).
+	TargetRate units.BitRate
+	// Deficit is how much the current incoming rate exceeds TargetRate.
+	Deficit units.BitRate
+}
+
+// UpstreamAction is what a node receiving a back-pressure notification
+// does (§3.3: "the upstream neighbour node ... has two options").
+type UpstreamAction int
+
+const (
+	// ActionDetour: the upstream node found a more-than-one-hop detour
+	// around the congested node and enters detour mode itself.
+	ActionDetour UpstreamAction = iota
+	// ActionPropagate: no detour; the notification travels one hop
+	// further toward the data sender.
+	ActionPropagate
+	// ActionSenderClosedLoop: the notification reached the sender, which
+	// enters the closed feedback loop for the affected flows and
+	// re-divides its outgoing capacity among the rest (processor
+	// sharing).
+	ActionSenderClosedLoop
+)
+
+// String names the action.
+func (a UpstreamAction) String() string {
+	switch a {
+	case ActionDetour:
+		return "detour"
+	case ActionPropagate:
+		return "propagate"
+	case ActionSenderClosedLoop:
+		return "sender-closed-loop"
+	default:
+		return "unknown"
+	}
+}
+
+// DecideUpstream encodes the paper's upstream decision rule: prefer a
+// detour around the congested node when one with spare capacity exists;
+// otherwise push the notification further back; at the sender, fall into
+// the closed loop.
+func DecideUpstream(isSender, detourAvailable bool) UpstreamAction {
+	switch {
+	case detourAvailable:
+		return ActionDetour
+	case isSender:
+		return ActionSenderClosedLoop
+	default:
+		return ActionPropagate
+	}
+}
+
+// CustodyTarget computes the forwarding rate a congested interface can ask
+// its upstream neighbour for: the link's own drain rate plus the rate at
+// which the custody store can keep absorbing without overflowing within
+// one horizon (the paper sizes this by the incoming link speed and cache
+// size: a 10GB cache behind a 40Gbps link absorbs 2 seconds of traffic).
+func CustodyTarget(linkRate units.BitRate, custodyFree units.ByteSize, horizonSeconds float64) units.BitRate {
+	if horizonSeconds <= 0 {
+		return linkRate
+	}
+	absorb := units.BitRate(custodyFree.Bits() / horizonSeconds)
+	return linkRate + absorb
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestPhaseString(t *testing.T) {
+	if PhasePushData.String() != "push-data" ||
+		PhaseDetour.String() != "detour" ||
+		PhaseBackPressure.String() != "back-pressure" {
+		t.Error("phase names wrong")
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Error("unknown phase should be explicit")
+	}
+}
+
+func TestInterfaceTransitions(t *testing.T) {
+	iface := NewInterface(10*units.Mbps, DefaultInterfaceConfig())
+	if iface.Phase() != PhasePushData {
+		t.Fatal("initial phase should be push-data")
+	}
+	// Under capacity: stays push-data.
+	if got := iface.Update(8*units.Mbps, true); got != PhasePushData {
+		t.Errorf("under capacity: %v", got)
+	}
+	// Demand reaches supply with a detour available: detour phase.
+	if got := iface.Update(11*units.Mbps, true); got != PhaseDetour {
+		t.Errorf("over capacity with detour: %v", got)
+	}
+	// Still congested, detour gone: back-pressure.
+	if got := iface.Update(11*units.Mbps, false); got != PhaseBackPressure {
+		t.Errorf("over capacity without detour: %v", got)
+	}
+	// Demand subsides: push-data again.
+	if got := iface.Update(5*units.Mbps, false); got != PhasePushData {
+		t.Errorf("subsided: %v", got)
+	}
+	if iface.Transitions() != 3 {
+		t.Errorf("transitions = %d, want 3", iface.Transitions())
+	}
+}
+
+func TestInterfaceHysteresis(t *testing.T) {
+	iface := NewInterface(10*units.Mbps, InterfaceConfig{Theta: 1.0, Hysteresis: 0.1})
+	iface.Update(10.5*units.Mbps, true) // enter detour
+	// 9.5 is below theta (10) but above theta-hysteresis (9): must stay
+	// congested to avoid flapping.
+	if got := iface.Update(9.5*units.Mbps, true); got != PhaseDetour {
+		t.Errorf("within hysteresis band: %v, want detour", got)
+	}
+	if got := iface.Update(8.9*units.Mbps, true); got != PhasePushData {
+		t.Errorf("below hysteresis band: %v, want push-data", got)
+	}
+}
+
+func TestInterfaceOverflow(t *testing.T) {
+	iface := NewInterface(10*units.Mbps, DefaultInterfaceConfig())
+	if got := iface.Overflow(13 * units.Mbps); got != 3*units.Mbps {
+		t.Errorf("overflow = %v, want 3Mbps", got)
+	}
+	if got := iface.Overflow(7 * units.Mbps); got != 0 {
+		t.Errorf("overflow under capacity = %v, want 0", got)
+	}
+}
+
+func TestEstimatorEq1(t *testing.T) {
+	// Router with 3 interfaces: requests forwarded by iface 0, split 3:1
+	// between data returning via ifaces 1 and 2.
+	chunk := units.ByteSize(1000) // 8000 bits
+	e := NewEstimator(3, chunk, time.Second)
+	e.RecordRequest(0, 1, 3)
+	e.RecordRequest(0, 2, 1)
+	if got := e.Ratio(0, 1); got != 0.75 {
+		t.Errorf("y(0→1) = %v, want 0.75", got)
+	}
+	if got := e.Ratio(0, 2); got != 0.25 {
+		t.Errorf("y(0→2) = %v, want 0.25", got)
+	}
+	if got := e.Ratio(1, 0); got != 0 {
+		t.Errorf("ratio with no requests = %v, want 0", got)
+	}
+
+	e.Tick(time.Second)
+	// 3 chunks × 8000 bits over 1s = 24 kbps anticipated on iface 1.
+	if got := e.AnticipatedRate(1); got != 24*units.Kbps {
+		t.Errorf("r_a(1) = %v, want 24Kbps", got)
+	}
+	if got := e.AnticipatedRate(2); got != 8*units.Kbps {
+		t.Errorf("r_a(2) = %v, want 8Kbps", got)
+	}
+	if got := e.AnticipatedRate(0); got != 0 {
+		t.Errorf("r_a(0) = %v, want 0", got)
+	}
+	// Counts reset after Tick.
+	if got := e.Ratio(0, 1); got != 0 {
+		t.Errorf("ratio after tick = %v, want 0", got)
+	}
+}
+
+func TestEstimatorMultipleIngress(t *testing.T) {
+	// Data for iface 2 announced via two different ingress interfaces
+	// must sum (the central management entity of §3.3).
+	e := NewEstimator(3, 1000, time.Second)
+	e.RecordRequest(0, 2, 2)
+	e.RecordRequest(1, 2, 3)
+	e.Tick(time.Second)
+	if got := e.AnticipatedRate(2); got != 40*units.Kbps {
+		t.Errorf("r_a(2) = %v, want 40Kbps", got)
+	}
+}
+
+func TestEstimatorElapsedWindow(t *testing.T) {
+	e := NewEstimator(2, 1000, time.Second)
+	e.RecordRequest(0, 1, 10)
+	e.Tick(2 * time.Second) // window actually lasted 2s
+	if got := e.AnticipatedRate(1); got != 40*units.Kbps {
+		t.Errorf("r_a over 2s window = %v, want 40Kbps", got)
+	}
+	e.SetInterval(500 * time.Millisecond)
+	if e.Interval() != 500*time.Millisecond {
+		t.Error("SetInterval failed")
+	}
+	e.SetInterval(-1) // ignored
+	if e.Interval() != 500*time.Millisecond {
+		t.Error("negative interval should be ignored")
+	}
+}
+
+func TestDecideUpstream(t *testing.T) {
+	if DecideUpstream(false, true) != ActionDetour {
+		t.Error("detour available should win")
+	}
+	if DecideUpstream(true, true) != ActionDetour {
+		t.Error("even the sender prefers a detour")
+	}
+	if DecideUpstream(false, false) != ActionPropagate {
+		t.Error("mid-path without detour should propagate")
+	}
+	if DecideUpstream(true, false) != ActionSenderClosedLoop {
+		t.Error("sender without detour should close the loop")
+	}
+	if ActionDetour.String() != "detour" || ActionSenderClosedLoop.String() != "sender-closed-loop" {
+		t.Error("action names wrong")
+	}
+}
+
+func TestCustodyTarget(t *testing.T) {
+	// 10GB free custody over a 2s horizon absorbs 40Gbps on top of the
+	// link's own rate.
+	got := CustodyTarget(10*units.Gbps, 10*units.GB, 2)
+	if got != 50*units.Gbps {
+		t.Errorf("custody target = %v, want 50Gbps", got)
+	}
+	if got := CustodyTarget(10*units.Gbps, units.GB, 0); got != 10*units.Gbps {
+		t.Errorf("zero horizon should return the link rate, got %v", got)
+	}
+}

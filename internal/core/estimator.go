@@ -1,0 +1,121 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// IfaceID indexes an interface within one router.
+type IfaceID int
+
+// Estimator implements the anticipated-rate computation of §3.3 (eq. 1).
+//
+// Each interface records the requests it forwards upstream, keyed by the
+// interface through which the corresponding data will return. At the end
+// of every measurement interval Ti, the router's "central management
+// entity" sums, for each interface i, the requests whose data will exit
+// through i, yielding the anticipated rate
+//
+//	r_a(i) = chunkSize · reqs(i) / Ti
+//
+// and the per-pair ratios y_{j→i} of eq. 1. Ti is meant to approximate the
+// average RTT of data chunks (footnote 4); callers may update it between
+// intervals via SetInterval.
+type Estimator struct {
+	interval  time.Duration
+	chunkSize units.ByteSize
+
+	// counts[j][i] = requests forwarded during the current interval by
+	// interface j whose data will return through interface i.
+	counts [][]float64
+	// rates[i] = anticipated rate of interface i from the last closed
+	// interval.
+	rates []units.BitRate
+
+	windowStart time.Duration
+}
+
+// NewEstimator returns an estimator for a router with n interfaces,
+// expecting data chunks of the given size, measuring over interval Ti.
+func NewEstimator(n int, chunkSize units.ByteSize, interval time.Duration) *Estimator {
+	if n < 1 {
+		panic("core: estimator needs at least one interface")
+	}
+	if interval <= 0 {
+		panic("core: estimator interval must be positive")
+	}
+	counts := make([][]float64, n)
+	for i := range counts {
+		counts[i] = make([]float64, n)
+	}
+	return &Estimator{
+		interval:  interval,
+		chunkSize: chunkSize,
+		counts:    counts,
+		rates:     make([]units.BitRate, n),
+	}
+}
+
+// NumInterfaces returns the number of interfaces tracked.
+func (e *Estimator) NumInterfaces() int { return len(e.rates) }
+
+// Interval returns the current measurement interval Ti.
+func (e *Estimator) Interval() time.Duration { return e.interval }
+
+// SetInterval updates Ti, e.g. to track the sampled average chunk RTT.
+func (e *Estimator) SetInterval(ti time.Duration) {
+	if ti > 0 {
+		e.interval = ti
+	}
+}
+
+// RecordRequest notes that interface via forwarded a request upstream for
+// chunks (≥1 when requests carry anticipation windows) whose data will
+// come back through interface dataIface.
+func (e *Estimator) RecordRequest(via, dataIface IfaceID, chunks int) {
+	e.counts[via][dataIface] += float64(chunks)
+}
+
+// Ratio returns y_{via→dataIface} of eq. 1: the fraction of requests
+// forwarded by interface via during the current interval whose data
+// returns through dataIface, relative to all requests via forwarded for
+// the other interfaces.
+func (e *Estimator) Ratio(via, dataIface IfaceID) float64 {
+	var total float64
+	for i, c := range e.counts[via] {
+		if IfaceID(i) != via {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return e.counts[via][dataIface] / total
+}
+
+// Tick closes the current measurement interval at time now: anticipated
+// rates are recomputed from the interval's request counts and the counts
+// reset. Call it every Ti.
+func (e *Estimator) Tick(now time.Duration) {
+	elapsed := now - e.windowStart
+	if elapsed <= 0 {
+		elapsed = e.interval
+	}
+	for i := range e.rates {
+		var reqs float64
+		for j := range e.counts {
+			reqs += e.counts[j][i]
+		}
+		bits := reqs * e.chunkSize.Bits()
+		e.rates[i] = units.BitRate(bits / elapsed.Seconds())
+		for j := range e.counts {
+			e.counts[j][i] = 0
+		}
+	}
+	e.windowStart = now
+}
+
+// AnticipatedRate returns r_a for interface i as of the last Tick: the
+// traffic the interface should expect to forward during the next interval.
+func (e *Estimator) AnticipatedRate(i IfaceID) units.BitRate { return e.rates[i] }

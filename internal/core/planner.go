@@ -1,0 +1,192 @@
+package core
+
+import (
+	"repro/internal/route"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// PlannerMode selects how the detour phase assigns overflow to candidate
+// sub-paths (§3.3 discusses both variants).
+type PlannerMode int
+
+const (
+	// CapacityAware assigns overflow respecting the residual capacity of
+	// detour links, which the paper enables by having routers keep state
+	// for the outgoing interfaces of their one-hop neighbours.
+	CapacityAware PlannerMode = iota
+	// Blind spreads overflow equally across candidates with no knowledge
+	// of their load — the zero-state variant, kept for ablation.
+	Blind
+)
+
+// ResidualFunc reports the spare per-direction capacity of an arc at
+// planning time.
+type ResidualFunc func(topo.Arc) units.BitRate
+
+// Grant is one detour assignment: a rate sent over a sub-path around the
+// congested link.
+type Grant struct {
+	Sub  route.Subpath
+	Arcs []topo.Arc // the sub-path's directed arcs, tail→head of the congested arc
+	Rate units.BitRate
+}
+
+// Planner finds and sizes detours around congested links, caching the
+// candidate enumeration per link. It is the engine of the detour phase,
+// shared by both simulators.
+type Planner struct {
+	g             *topo.Graph
+	mode          PlannerMode
+	extraHop      bool
+	maxCandidates int
+
+	cache map[topo.LinkID][]route.Subpath
+}
+
+// PlannerConfig tunes detour planning.
+type PlannerConfig struct {
+	Mode PlannerMode
+	// ExtraHop allows two-hop detour sub-paths in addition to one-hop
+	// ones — the paper's "nodes on the detour path can further detour,
+	// but for one extra hop only". Default true (the Fig. 4 setting).
+	ExtraHop bool
+	// MaxCandidates caps the candidate sub-paths considered per link
+	// (≤ 0: unlimited).
+	MaxCandidates int
+}
+
+// DefaultPlannerConfig returns the Fig. 4 evaluation setting: capacity-
+// aware, one-hop detours plus one extra hop.
+func DefaultPlannerConfig() PlannerConfig {
+	return PlannerConfig{Mode: CapacityAware, ExtraHop: true, MaxCandidates: 8}
+}
+
+// NewPlanner returns a planner over g.
+func NewPlanner(g *topo.Graph, cfg PlannerConfig) *Planner {
+	return &Planner{
+		g:             g,
+		mode:          cfg.Mode,
+		extraHop:      cfg.ExtraHop,
+		maxCandidates: cfg.MaxCandidates,
+		cache:         make(map[topo.LinkID][]route.Subpath),
+	}
+}
+
+// Candidates returns the detour sub-paths around link id, oriented from
+// the congested arc's tail to its head.
+func (p *Planner) Candidates(id topo.LinkID, dir topo.Direction) []route.Subpath {
+	subs, ok := p.cache[id]
+	if !ok {
+		subs = route.Subpaths(p.g, id, p.extraHop, p.maxCandidates)
+		p.cache[id] = subs
+	}
+	if dir == topo.Forward {
+		return subs
+	}
+	// Reverse orientation for the B→A direction.
+	out := make([]route.Subpath, len(subs))
+	for i, s := range subs {
+		rev := make(route.Path, len(s.Path))
+		for j, n := range s.Path {
+			rev[len(s.Path)-1-j] = n
+		}
+		out[i] = route.Subpath{Path: rev, Extra: s.Extra}
+	}
+	return out
+}
+
+// HasDetour reports whether at least one detour sub-path with positive
+// residual capacity exists around the arc. With a nil residual it only
+// checks topological existence.
+func (p *Planner) HasDetour(arc topo.Arc, residual ResidualFunc) bool {
+	for _, sub := range p.Candidates(arc.Link, arc.Dir) {
+		if residual == nil {
+			return true
+		}
+		if p.subpathResidual(sub, residual) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan assigns up to overflow of traffic to detour sub-paths around the
+// given congested arc. It returns the grants and the unplaced remainder
+// (which the caller must cache and back-pressure).
+//
+// CapacityAware mode fills candidates shortest-first against their
+// residual capacity, never over-committing a donor arc (grants earlier in
+// the list reduce the residual seen by later candidates sharing an arc).
+// Blind mode splits the overflow equally across all candidates, capped by
+// residual only at the caller's peril — it models detouring with no
+// neighbour state and is kept for ablation.
+func (p *Planner) Plan(arc topo.Arc, overflow units.BitRate, residual ResidualFunc) (grants []Grant, unplaced units.BitRate) {
+	if overflow <= 0 {
+		return nil, 0
+	}
+	cands := p.Candidates(arc.Link, arc.Dir)
+	if len(cands) == 0 {
+		return nil, overflow
+	}
+
+	switch p.mode {
+	case Blind:
+		share := overflow / units.BitRate(len(cands))
+		for _, sub := range cands {
+			arcs := p.subpathArcs(sub)
+			grants = append(grants, Grant{Sub: sub, Arcs: arcs, Rate: share})
+		}
+		return grants, 0
+
+	default: // CapacityAware
+		// Track how much of each donor arc this plan has consumed so far,
+		// so overlapping candidates share residuals consistently.
+		consumed := make(map[topo.Arc]units.BitRate)
+		remaining := overflow
+		for _, sub := range cands {
+			if remaining <= 0 {
+				break
+			}
+			arcs := p.subpathArcs(sub)
+			avail := remaining
+			for _, a := range arcs {
+				r := residual(a) - consumed[a]
+				if r < avail {
+					avail = r
+				}
+			}
+			if avail <= 0 {
+				continue
+			}
+			for _, a := range arcs {
+				consumed[a] += avail
+			}
+			grants = append(grants, Grant{Sub: sub, Arcs: arcs, Rate: avail})
+			remaining -= avail
+		}
+		return grants, remaining
+	}
+}
+
+// subpathResidual returns the bottleneck residual along a sub-path.
+func (p *Planner) subpathResidual(sub route.Subpath, residual ResidualFunc) units.BitRate {
+	min := units.BitRate(0)
+	for i, a := range p.subpathArcs(sub) {
+		r := residual(a)
+		if i == 0 || r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// subpathArcs resolves the sub-path to directed arcs. Sub-paths come from
+// route.Subpaths over the same graph, so resolution cannot fail.
+func (p *Planner) subpathArcs(sub route.Subpath) []topo.Arc {
+	arcs, err := sub.Path.Arcs(p.g)
+	if err != nil {
+		panic("core: invalid detour sub-path: " + err.Error())
+	}
+	return arcs
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"repro/internal/units"
+)
+
+// ProcessorSharing divides a link's capacity among flows with the given
+// demand caps, max-min fairly: unconstrained flows share equally, flows
+// capped below the fair share release their unused share to the rest.
+// A negative demand means "elastic" (no cap). This is the sender
+// multiplexing discipline of the push-data phase (§3.2, after [14]).
+//
+// The returned slice is aligned with demands. Allocations sum to at most
+// capacity, exactly reaching it when total demand allows.
+func ProcessorSharing(capacity units.BitRate, demands []units.BitRate) []units.BitRate {
+	n := len(demands)
+	alloc := make([]units.BitRate, n)
+	if n == 0 || capacity <= 0 {
+		return alloc
+	}
+	active := make([]bool, n)
+	remainingFlows := 0
+	for i, d := range demands {
+		if d != 0 {
+			active[i] = true
+			remainingFlows++
+		}
+	}
+	remainingCap := capacity
+	for remainingFlows > 0 && remainingCap > 0 {
+		share := remainingCap / units.BitRate(remainingFlows)
+		progressed := false
+		for i := range demands {
+			if !active[i] {
+				continue
+			}
+			if demands[i] >= 0 && demands[i]-alloc[i] <= share {
+				// Demand satisfied below the fair share: freeze.
+				grant := demands[i] - alloc[i]
+				alloc[i] += grant
+				remainingCap -= grant
+				active[i] = false
+				remainingFlows--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Everyone left is elastic or above the share: give each the
+			// fair share and finish.
+			for i := range demands {
+				if active[i] {
+					alloc[i] += share
+				}
+			}
+			remainingCap -= share * units.BitRate(remainingFlows)
+			break
+		}
+	}
+	return alloc
+}
+
+// FlowMode is the sender-side operating mode for one flow (§3.2).
+type FlowMode int
+
+const (
+	// OpenLoop: push-data mode; the flow takes its processor-sharing
+	// share of the outgoing link, including anticipated data.
+	OpenLoop FlowMode = iota
+	// ClosedLoop: back-pressure mode; the flow is capped at the rate with
+	// which requests arrive (1-to-1 flow balance).
+	ClosedLoop
+)
+
+// Sender models an INRPP data sender: per-flow mode plus the processor-
+// sharing division of its outgoing link.
+type Sender struct {
+	capacity units.BitRate
+	flows    map[int]*senderFlow
+	order    []int // deterministic iteration order
+}
+
+type senderFlow struct {
+	mode        FlowMode
+	requestRate units.BitRate // cap when closed-loop
+}
+
+// NewSender returns a sender with the given outgoing link capacity.
+func NewSender(capacity units.BitRate) *Sender {
+	return &Sender{capacity: capacity, flows: make(map[int]*senderFlow)}
+}
+
+// AddFlow registers a flow in open-loop (push-data) mode.
+func (s *Sender) AddFlow(id int) {
+	if _, ok := s.flows[id]; ok {
+		return
+	}
+	s.flows[id] = &senderFlow{mode: OpenLoop}
+	s.order = append(s.order, id)
+}
+
+// RemoveFlow unregisters a finished flow.
+func (s *Sender) RemoveFlow(id int) {
+	if _, ok := s.flows[id]; !ok {
+		return
+	}
+	delete(s.flows, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// EnterClosedLoop switches a flow to back-pressure mode, capped at the
+// given request arrival rate. The freed share is re-divided among the
+// remaining open-loop flows at the next Allocate (§3.3: "re-divide the
+// available bandwidth between the rest of the flows").
+func (s *Sender) EnterClosedLoop(id int, requestRate units.BitRate) {
+	if f, ok := s.flows[id]; ok {
+		f.mode = ClosedLoop
+		f.requestRate = requestRate
+	}
+}
+
+// ExitClosedLoop returns a flow to open-loop push-data mode.
+func (s *Sender) ExitClosedLoop(id int) {
+	if f, ok := s.flows[id]; ok {
+		f.mode = OpenLoop
+		f.requestRate = 0
+	}
+}
+
+// Mode returns the flow's current mode (OpenLoop for unknown flows).
+func (s *Sender) Mode(id int) FlowMode {
+	if f, ok := s.flows[id]; ok {
+		return f.mode
+	}
+	return OpenLoop
+}
+
+// NumFlows returns the number of registered flows.
+func (s *Sender) NumFlows() int { return len(s.order) }
+
+// Allocate divides the outgoing capacity among the registered flows:
+// closed-loop flows are capped at their request rate, open-loop flows are
+// elastic. The result maps flow ID to sending rate.
+func (s *Sender) Allocate() map[int]units.BitRate {
+	demands := make([]units.BitRate, len(s.order))
+	for i, id := range s.order {
+		f := s.flows[id]
+		if f.mode == ClosedLoop {
+			demands[i] = f.requestRate
+		} else {
+			demands[i] = -1 // elastic
+		}
+	}
+	rates := ProcessorSharing(s.capacity, demands)
+	out := make(map[int]units.BitRate, len(s.order))
+	for i, id := range s.order {
+		out[id] = rates[i]
+	}
+	return out
+}

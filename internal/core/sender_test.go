@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func ratesAlmostEqual(a, b units.BitRate) bool {
+	return math.Abs(float64(a-b)) < 1e-6*math.Max(1, math.Abs(float64(b)))
+}
+
+func TestProcessorSharingElastic(t *testing.T) {
+	got := ProcessorSharing(12*units.Mbps, []units.BitRate{-1, -1, -1})
+	for i, r := range got {
+		if !ratesAlmostEqual(r, 4*units.Mbps) {
+			t.Errorf("flow %d rate = %v, want 4Mbps", i, r)
+		}
+	}
+}
+
+func TestProcessorSharingCapped(t *testing.T) {
+	// One flow capped below its fair share releases capacity to the rest.
+	got := ProcessorSharing(12*units.Mbps, []units.BitRate{2 * units.Mbps, -1, -1})
+	if !ratesAlmostEqual(got[0], 2*units.Mbps) {
+		t.Errorf("capped flow = %v, want 2Mbps", got[0])
+	}
+	if !ratesAlmostEqual(got[1], 5*units.Mbps) || !ratesAlmostEqual(got[2], 5*units.Mbps) {
+		t.Errorf("elastic flows = %v, %v, want 5Mbps each", got[1], got[2])
+	}
+}
+
+func TestProcessorSharingAllCappedUnderCapacity(t *testing.T) {
+	got := ProcessorSharing(100*units.Mbps, []units.BitRate{units.Mbps, 2 * units.Mbps})
+	if !ratesAlmostEqual(got[0], units.Mbps) || !ratesAlmostEqual(got[1], 2*units.Mbps) {
+		t.Errorf("under-capacity caps should be honoured exactly: %v", got)
+	}
+}
+
+func TestProcessorSharingZeroDemand(t *testing.T) {
+	got := ProcessorSharing(10*units.Mbps, []units.BitRate{0, -1})
+	if got[0] != 0 {
+		t.Errorf("zero-demand flow got %v", got[0])
+	}
+	if !ratesAlmostEqual(got[1], 10*units.Mbps) {
+		t.Errorf("elastic flow got %v, want all 10Mbps", got[1])
+	}
+}
+
+func TestProcessorSharingEdgeCases(t *testing.T) {
+	if got := ProcessorSharing(10*units.Mbps, nil); len(got) != 0 {
+		t.Error("no flows should yield empty allocation")
+	}
+	got := ProcessorSharing(0, []units.BitRate{-1})
+	if got[0] != 0 {
+		t.Error("zero capacity should allocate nothing")
+	}
+}
+
+// TestProcessorSharingInvariants: allocations never exceed demand caps,
+// never exceed capacity in total, and exhaust capacity when demand allows.
+func TestProcessorSharingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		demands := make([]units.BitRate, n)
+		elastic := false
+		var totalDemand units.BitRate
+		for i := range demands {
+			if rng.Intn(3) == 0 {
+				demands[i] = -1
+				elastic = true
+			} else {
+				demands[i] = units.BitRate(rng.Intn(100)) * units.Mbps
+				totalDemand += demands[i]
+			}
+		}
+		capacity := units.BitRate(1+rng.Intn(200)) * units.Mbps
+		alloc := ProcessorSharing(capacity, demands)
+
+		var total units.BitRate
+		for i, a := range alloc {
+			if a < -1e-9 {
+				return false
+			}
+			if demands[i] >= 0 && a > demands[i]+1e-6 {
+				return false // exceeded cap
+			}
+			total += a
+		}
+		if total > capacity*(1+1e-9) {
+			return false
+		}
+		// Work conservation: if any elastic flow exists, or demand exceeds
+		// capacity, all capacity is used.
+		if elastic || totalDemand >= capacity {
+			if math.Abs(float64(total-capacity)) > 1e-6*float64(capacity) {
+				return false
+			}
+		} else if !ratesAlmostEqual(total, totalDemand) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSenderLifecycle(t *testing.T) {
+	s := NewSender(10 * units.Mbps)
+	s.AddFlow(1)
+	s.AddFlow(2)
+	s.AddFlow(2) // duplicate add is a no-op
+	if s.NumFlows() != 2 {
+		t.Fatalf("NumFlows = %d, want 2", s.NumFlows())
+	}
+	rates := s.Allocate()
+	if !ratesAlmostEqual(rates[1], 5*units.Mbps) || !ratesAlmostEqual(rates[2], 5*units.Mbps) {
+		t.Errorf("open-loop split = %v", rates)
+	}
+
+	// Back-pressure flow 1 to 2Mbps: flow 2 reclaims the rest.
+	s.EnterClosedLoop(1, 2*units.Mbps)
+	if s.Mode(1) != ClosedLoop || s.Mode(2) != OpenLoop {
+		t.Error("modes wrong after EnterClosedLoop")
+	}
+	rates = s.Allocate()
+	if !ratesAlmostEqual(rates[1], 2*units.Mbps) {
+		t.Errorf("closed-loop flow rate = %v, want 2Mbps", rates[1])
+	}
+	if !ratesAlmostEqual(rates[2], 8*units.Mbps) {
+		t.Errorf("remaining flow rate = %v, want 8Mbps", rates[2])
+	}
+
+	s.ExitClosedLoop(1)
+	rates = s.Allocate()
+	if !ratesAlmostEqual(rates[1], 5*units.Mbps) {
+		t.Errorf("after exit, rate = %v, want 5Mbps", rates[1])
+	}
+
+	s.RemoveFlow(1)
+	s.RemoveFlow(99) // unknown: no-op
+	rates = s.Allocate()
+	if !ratesAlmostEqual(rates[2], 10*units.Mbps) {
+		t.Errorf("last flow rate = %v, want 10Mbps", rates[2])
+	}
+	if s.Mode(99) != OpenLoop {
+		t.Error("unknown flow mode should default to open-loop")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+// Request is the receiver-driven request packet of §3.2: ⟨Nc, ACKc, Ac⟩.
+// Nc is the next chunk the application needs, ACKc acknowledges the latest
+// chunk received, and Ac is the last anticipated chunk — data not
+// explicitly needed yet that the sender may push to exploit underutilised
+// links.
+type Request struct {
+	Next        int64 // Nc
+	Ack         int64 // ACKc (-1 before anything arrives)
+	Anticipated int64 // Ac
+}
+
+// Window tracks one flow's receive state and produces its request
+// packets. Chunks are numbered 0..Total-1. Out-of-order arrival (e.g. via
+// detours) is expected and is not a congestion signal (§3.2); the window
+// tracks received chunks individually.
+type Window struct {
+	total        int64
+	anticipation int64
+	next         int64 // lowest chunk not yet received
+	latest       int64 // most recently received chunk, -1 initially
+	received     []uint64
+	count        int64
+}
+
+// NewWindow returns a window for a flow of totalChunks chunks requesting
+// anticipation chunks ahead of the application's needs (the globally
+// configured Ac parameter).
+func NewWindow(totalChunks, anticipation int64) *Window {
+	if totalChunks < 0 {
+		totalChunks = 0
+	}
+	if anticipation < 0 {
+		anticipation = 0
+	}
+	return &Window{
+		total:        totalChunks,
+		anticipation: anticipation,
+		latest:       -1,
+		received:     make([]uint64, (totalChunks+63)/64),
+	}
+}
+
+// Total returns the flow length in chunks.
+func (w *Window) Total() int64 { return w.total }
+
+// Received reports whether chunk seq has arrived.
+func (w *Window) Received(seq int64) bool {
+	if seq < 0 || seq >= w.total {
+		return false
+	}
+	return w.received[seq/64]&(1<<uint(seq%64)) != 0
+}
+
+// OnData records the arrival of chunk seq, returning false for duplicates
+// and out-of-range sequence numbers.
+func (w *Window) OnData(seq int64) bool {
+	if seq < 0 || seq >= w.total || w.Received(seq) {
+		return false
+	}
+	w.received[seq/64] |= 1 << uint(seq%64)
+	w.count++
+	w.latest = seq
+	for w.next < w.total && w.Received(w.next) {
+		w.next++
+	}
+	return true
+}
+
+// Next returns Nc: the lowest chunk not yet received.
+func (w *Window) Next() int64 { return w.next }
+
+// Count returns how many distinct chunks have arrived.
+func (w *Window) Count() int64 { return w.count }
+
+// Done reports whether every chunk has arrived.
+func (w *Window) Done() bool { return w.count == w.total }
+
+// Request produces the current request packet ⟨Nc, ACKc, Ac⟩. Ac is
+// clamped to the flow's end.
+func (w *Window) Request() Request {
+	ac := w.next + w.anticipation
+	if ac > w.total-1 {
+		ac = w.total - 1
+	}
+	return Request{Next: w.next, Ack: w.latest, Anticipated: ac}
+}
+
+// Missing returns up to max chunk numbers that are still outstanding at or
+// beyond Nc, in order — what the receiver re-requests after a timeout or
+// NACK (the paper identifies losses by explicit timers or NACKs, §3.2).
+func (w *Window) Missing(max int) []int64 {
+	var out []int64
+	for seq := w.next; seq < w.total && len(out) < max; seq++ {
+		if !w.Received(seq) {
+			out = append(out, seq)
+		}
+	}
+	return out
+}

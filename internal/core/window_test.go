@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowInOrder(t *testing.T) {
+	w := NewWindow(5, 2)
+	req := w.Request()
+	if req.Next != 0 || req.Ack != -1 || req.Anticipated != 2 {
+		t.Errorf("initial request = %+v, want ⟨0,-1,2⟩", req)
+	}
+	for seq := int64(0); seq < 5; seq++ {
+		if !w.OnData(seq) {
+			t.Fatalf("OnData(%d) rejected", seq)
+		}
+	}
+	if !w.Done() {
+		t.Error("window should be done")
+	}
+	req = w.Request()
+	if req.Next != 5 || req.Ack != 4 {
+		t.Errorf("final request = %+v", req)
+	}
+}
+
+func TestWindowOutOfOrder(t *testing.T) {
+	// Detoured chunks arrive out of order; that must not be treated as
+	// loss or congestion.
+	w := NewWindow(6, 3)
+	w.OnData(2)
+	w.OnData(0)
+	req := w.Request()
+	if req.Next != 1 {
+		t.Errorf("Nc = %d, want 1 (chunk 1 missing)", req.Next)
+	}
+	if req.Ack != 0 {
+		t.Errorf("ACKc = %d, want 0 (latest received)", req.Ack)
+	}
+	if req.Anticipated != 4 {
+		t.Errorf("Ac = %d, want 4 (Nc+3)", req.Anticipated)
+	}
+	missing := w.Missing(10)
+	if len(missing) != 4 || missing[0] != 1 || missing[1] != 3 {
+		t.Errorf("missing = %v, want [1 3 4 5]", missing)
+	}
+	w.OnData(1)
+	if w.Next() != 3 {
+		t.Errorf("after filling hole, Nc = %d, want 3", w.Next())
+	}
+}
+
+func TestWindowRejectsDuplicatesAndOutOfRange(t *testing.T) {
+	w := NewWindow(3, 1)
+	if !w.OnData(1) || w.OnData(1) {
+		t.Error("duplicate should be rejected")
+	}
+	if w.OnData(-1) || w.OnData(3) {
+		t.Error("out-of-range should be rejected")
+	}
+	if w.Count() != 1 {
+		t.Errorf("count = %d, want 1", w.Count())
+	}
+}
+
+func TestWindowAnticipationClamped(t *testing.T) {
+	w := NewWindow(4, 100)
+	if req := w.Request(); req.Anticipated != 3 {
+		t.Errorf("Ac = %d, want clamp to 3", req.Anticipated)
+	}
+	empty := NewWindow(0, 5)
+	if !empty.Done() {
+		t.Error("empty flow is trivially done")
+	}
+}
+
+// TestWindowPermutationInvariant: delivering any permutation of chunks
+// completes the window with every chunk marked exactly once.
+func TestWindowPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int64(1 + rng.Intn(200))
+		w := NewWindow(n, 4)
+		perm := rng.Perm(int(n))
+		for i, seq := range perm {
+			if !w.OnData(int64(seq)) {
+				return false
+			}
+			// Nc must always point at the lowest missing chunk.
+			if w.Next() < 0 || w.Next() > n {
+				return false
+			}
+			if i+1 != int(w.Count()) {
+				return false
+			}
+		}
+		return w.Done() && w.Next() == n && len(w.Missing(10)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.After(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkNestedCascade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		n := 0
+		var next func()
+		next = func() {
+			n++
+			if n < 10000 {
+				s.After(time.Microsecond, next)
+			}
+		}
+		s.After(0, next)
+		s.Run()
+	}
+}

@@ -1,0 +1,141 @@
+// Package des is a minimal discrete-event simulation kernel: a clock and a
+// deterministic event queue. Both INRPP simulators run single-threaded on
+// top of it so every run is exactly reproducible.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Simulator owns the virtual clock and the pending-event queue. The zero
+// value is ready to use.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	stop   bool
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Timer is a handle to a scheduled event, allowing cancellation.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.fn = nil
+	}
+}
+
+// At schedules fn at absolute time t. Events scheduled in the past fire at
+// the current time (immediately on the next step), preserving causality.
+// Events at equal times fire in scheduling order.
+func (s *Simulator) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn d from now.
+func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the next pending event, advancing the clock to it. It reports
+// whether an event was fired.
+func (s *Simulator) Step() bool {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue empties or Stop is called.
+func (s *Simulator) Run() {
+	s.stop = false
+	for !s.stop && s.Step() {
+	}
+}
+
+// RunUntil fires all events up to and including time t, then advances the
+// clock to t (even if no event was pending there).
+func (s *Simulator) RunUntil(t time.Duration) {
+	s.stop = false
+	for !s.stop {
+		next, ok := s.peekTime()
+		if !ok || next > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Stop makes the innermost Run or RunUntil return after the current event.
+func (s *Simulator) Stop() { s.stop = true }
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Simulator) peekTime() (time.Duration, bool) {
+	for s.events.Len() > 0 {
+		if s.events[0].fn == nil {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0].at, true
+	}
+	return 0, false
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,154 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOrdering(t *testing.T) {
+	s := New()
+	var fired []int
+	s.After(3*time.Second, func() { fired = append(fired, 3) })
+	s.After(1*time.Second, func() { fired = append(fired, 1) })
+	s.After(2*time.Second, func() { fired = append(fired, 2) })
+	s.Run()
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Errorf("fired order = %v, want [1 2 3]", fired)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("final time = %v, want 3s", s.Now())
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	s := New()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { fired = append(fired, i) })
+	}
+	s.Run()
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-time events out of scheduling order: %v", fired)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var log []time.Duration
+	s.After(time.Second, func() {
+		log = append(log, s.Now())
+		s.After(time.Second, func() {
+			log = append(log, s.Now())
+		})
+	})
+	s.Run()
+	if len(log) != 2 || log[0] != time.Second || log[1] != 2*time.Second {
+		t.Errorf("nested log = %v", log)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	s := New()
+	s.After(5*time.Second, func() {
+		s.At(time.Second, func() {
+			if s.Now() != 5*time.Second {
+				t.Errorf("past event fired at %v, want clamp to 5s", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	timer := s.After(time.Second, func() { fired = true })
+	timer.Cancel()
+	timer.Cancel() // double-cancel is a no-op
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	var nilTimer *Timer
+	nilTimer.Cancel() // must not panic
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Second
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2500 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Errorf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 2500*time.Millisecond {
+		t.Errorf("clock = %v, want 2.5s", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Errorf("after Run, fired %d, want 4", len(fired))
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.After(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 2 {
+		t.Errorf("Stop did not halt run: count = %d", count)
+	}
+	s.Run() // resume
+	if count != 5 {
+		t.Errorf("resume failed: count = %d", count)
+	}
+}
+
+func TestHeapPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		n := 1 + rng.Intn(200)
+		times := make([]time.Duration, n)
+		var fired []time.Duration
+		for i := range times {
+			times[i] = time.Duration(rng.Intn(1000)) * time.Millisecond
+			d := times[i]
+			s.At(d, func() { fired = append(fired, d) })
+		}
+		s.Run()
+		if len(fired) != n {
+			return false
+		}
+		sorted := append([]time.Duration(nil), times...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/chunknet"
+	"repro/internal/report"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// CustodyPaper captures the §3.3 sizing claim: "a 10GB cache after a
+// 40Gbps link can hold incoming traffic for 2 seconds".
+var CustodyPaper = struct {
+	Cache    units.ByteSize
+	LinkRate units.BitRate
+	HoldSecs float64
+}{Cache: 10 * units.GB, LinkRate: 40 * units.Gbps, HoldSecs: 2}
+
+// CustodyConfig parameterises the custody/back-pressure experiment.
+type CustodyConfig struct {
+	// IngressRate and EgressRate set the bottleneck chain: src →(ingress)
+	// router →(egress) receiver. Defaults: 40Gbps → 2Gbps.
+	IngressRate units.BitRate
+	EgressRate  units.BitRate
+	// Custody is the INRPP custody budget at the router (default 10GB).
+	Custody units.ByteSize
+	// Buffer is the AIMD drop-tail buffer (default 25MB, a typical
+	// BDP-scale buffer).
+	Buffer units.ByteSize
+	// ChunkSize (default 10MB — coarse, to keep paper-scale runs fast).
+	ChunkSize units.ByteSize
+	// Chunks per transfer (default 2000 = 20GB offered).
+	Chunks int64
+	// Horizon (default 5s).
+	Horizon time.Duration
+}
+
+func (c *CustodyConfig) applyDefaults() {
+	if c.IngressRate == 0 {
+		c.IngressRate = 40 * units.Gbps
+	}
+	if c.EgressRate == 0 {
+		c.EgressRate = 2 * units.Gbps
+	}
+	if c.Custody == 0 {
+		c.Custody = 10 * units.GB
+	}
+	if c.Buffer == 0 {
+		c.Buffer = 25 * units.MB
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 10 * units.MB
+	}
+	if c.Chunks == 0 {
+		c.Chunks = 2000
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 5 * time.Second
+	}
+}
+
+// CustodyResult compares INRPP custody against the AIMD drop-tail
+// baseline on the same bottleneck chain.
+type CustodyResult struct {
+	// HoldSeconds is the analytic absorption horizon cache/linkRate —
+	// the quantity the paper quotes as 2 s.
+	HoldSeconds float64
+
+	INRPP CustodyRun
+	AIMD  CustodyRun
+}
+
+// CustodyRun is one transport's outcome.
+type CustodyRun struct {
+	Delivered      int64
+	Dropped        int64
+	Retransmits    int64
+	CustodyPeak    units.ByteSize
+	MeanResidencyS float64
+	Backpressure   int
+	ClosedLoop     int
+}
+
+// Custody runs the experiment: an aggressive push into a bottleneck,
+// once with INRPP custody+back-pressure and once with AIMD drop-tail.
+func Custody(cfg CustodyConfig) (*CustodyResult, error) {
+	cfg.applyDefaults()
+	build := func() *topo.Graph {
+		g := topo.New("custody-chain")
+		g.AddNodes(3)
+		g.MustAddLink(0, 1, cfg.IngressRate, time.Millisecond)
+		g.MustAddLink(1, 2, cfg.EgressRate, time.Millisecond)
+		return g
+	}
+
+	res := &CustodyResult{
+		HoldSeconds: cfg.IngressRate.TransmissionTime(cfg.Custody).Seconds(),
+	}
+
+	// INRPP: custody + back-pressure, no drops expected.
+	s, err := chunknet.New(chunknet.Config{
+		Graph:              build(),
+		Transport:          chunknet.INRPP,
+		ChunkSize:          cfg.ChunkSize,
+		Anticipation:       4096,
+		CustodyBytes:       cfg.Custody,
+		InitialRequestRate: cfg.IngressRate,
+		Ti:                 50 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.AddTransfer(chunknet.Transfer{ID: 1, Src: 0, Dst: 2, Chunks: cfg.Chunks}); err != nil {
+		return nil, err
+	}
+	rep := s.Run(cfg.Horizon)
+	res.INRPP = CustodyRun{
+		Delivered:      rep.DeliveredPerFlow[1],
+		Dropped:        rep.ChunksDropped,
+		Retransmits:    rep.Retransmits,
+		CustodyPeak:    rep.CustodyPeak,
+		MeanResidencyS: rep.CustodyResidency.Mean(),
+		Backpressure:   rep.BackpressureOn,
+		ClosedLoop:     rep.ClosedLoopEntries,
+	}
+
+	// AIMD: same chain, drop-tail buffer.
+	s, err = chunknet.New(chunknet.Config{
+		Graph:      build(),
+		Transport:  chunknet.AIMD,
+		ChunkSize:  cfg.ChunkSize,
+		QueueBytes: cfg.Buffer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.AddTransfer(chunknet.Transfer{ID: 1, Src: 0, Dst: 2, Chunks: cfg.Chunks}); err != nil {
+		return nil, err
+	}
+	rep = s.Run(cfg.Horizon)
+	res.AIMD = CustodyRun{
+		Delivered:   rep.DeliveredPerFlow[1],
+		Dropped:     rep.ChunksDropped,
+		Retransmits: rep.Retransmits,
+		CustodyPeak: rep.CustodyPeak,
+	}
+	return res, nil
+}
+
+// CustodyReport renders the experiment.
+func CustodyReport(r *CustodyResult) *report.Table {
+	c := &report.Comparison{Name: "§3.3 custody — 10GB cache behind a 40Gbps link"}
+	c.Add("absorption horizon", CustodyPaper.HoldSecs, r.HoldSeconds, "s")
+	c.Add("INRPP drops", 0, float64(r.INRPP.Dropped), "chunks")
+	t := c.Table()
+	t.AddRow("INRPP delivered", "", report.F3(float64(r.INRPP.Delivered)), "", "chunks")
+	t.AddRow("INRPP custody peak", "", r.INRPP.CustodyPeak.String(), "", "")
+	t.AddRow("INRPP mean residency", "", report.F3(r.INRPP.MeanResidencyS), "", "s")
+	t.AddRow("INRPP back-pressure msgs", "", report.F3(float64(r.INRPP.Backpressure)), "", "")
+	t.AddRow("AIMD delivered", "", report.F3(float64(r.AIMD.Delivered)), "", "chunks")
+	t.AddRow("AIMD drops", "", report.F3(float64(r.AIMD.Dropped)), "", "chunks")
+	t.AddRow("AIMD retransmits", "", report.F3(float64(r.AIMD.Retransmits)), "", "")
+	return t
+}

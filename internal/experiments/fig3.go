@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"repro/internal/flowsim"
+	"repro/internal/report"
+	"repro/internal/topo"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Fig3Paper holds the numbers quoted in §3.1 for the Figure 3 example.
+var Fig3Paper = struct {
+	E2ERates  [2]float64 // Mbps: (bottleneck flow, other flow)
+	INRPRates [2]float64
+	E2EJain   float64
+	INRPJain  float64
+}{
+	E2ERates:  [2]float64{2, 8},
+	INRPRates: [2]float64{5, 5},
+	E2EJain:   0.735, // 100/136
+	INRPJain:  1.0,
+}
+
+// Fig3Result carries the measured two-flow allocation under both control
+// models.
+type Fig3Result struct {
+	E2ERatesMbps  [2]float64 // (flow A through the bottleneck, flow B)
+	INRPRatesMbps [2]float64
+	E2EJain       float64
+	INRPJain      float64
+	DetouredShare float64 // fraction of INRP bits that took the detour
+}
+
+// Fig3 reproduces the paper's Figure 3 example: two flows over the
+// 10/2/5/5 Mbps four-node topology, allocated by e2e (SP max-min) control
+// and by INRPP.
+func Fig3() (*Fig3Result, error) {
+	g := topo.Fig3()
+	size := units.ByteSize(12_500_000) // 100 Mbit: long-lived on Mbps links
+	flows := []workload.Flow{
+		{ID: 0, Src: topo.Fig3FlowA[0], Dst: topo.Fig3FlowA[1], Size: size},
+		{ID: 1, Src: topo.Fig3FlowB[0], Dst: topo.Fig3FlowB[1], Size: size},
+	}
+	// Both policies run to completion; with both flows starting together,
+	// size/FCT recovers each flow's steady rate exactly (under SP, flow A
+	// is pinned at the bottleneck rate for its entire life; under INRPP
+	// both flows hold the equal share until they finish simultaneously).
+	res := &Fig3Result{}
+
+	sp, err := flowsim.Run(flowsim.Config{Graph: g, Policy: flowsim.SP, Flows: flows})
+	if err != nil {
+		return nil, err
+	}
+	res.E2ERatesMbps = ratesFromResult(sp)
+	res.E2EJain = sp.Jain
+
+	inrp, err := flowsim.Run(flowsim.Config{Graph: g, Policy: flowsim.INRP, Flows: flows})
+	if err != nil {
+		return nil, err
+	}
+	res.INRPRatesMbps = ratesFromResult(inrp)
+	res.INRPJain = inrp.Jain
+	res.DetouredShare = inrp.DetouredShare
+	return res, nil
+}
+
+// ratesFromResult recovers the two flows' mean rates (Mbps, sorted
+// ascending) from a completed two-flow run.
+func ratesFromResult(r *flowsim.Result) [2]float64 {
+	var rates [2]float64
+	for i, bps := range r.MeanRates {
+		if i < 2 {
+			rates[i] = bps / 1e6
+		}
+	}
+	if rates[0] > rates[1] {
+		rates[0], rates[1] = rates[1], rates[0]
+	}
+	return rates
+}
+
+// Fig3Report renders the fairness comparison.
+func Fig3Report(r *Fig3Result) *report.Table {
+	c := &report.Comparison{Name: "Figure 3 — e2e vs INRPP fairness"}
+	c.Add("e2e bottleneck flow rate", Fig3Paper.E2ERates[0], r.E2ERatesMbps[0], "Mbps")
+	c.Add("e2e other flow rate", Fig3Paper.E2ERates[1], r.E2ERatesMbps[1], "Mbps")
+	c.Add("e2e Jain index", Fig3Paper.E2EJain, r.E2EJain, "")
+	c.Add("INRPP flow rates (each)", Fig3Paper.INRPRates[0], r.INRPRatesMbps[0], "Mbps")
+	c.Add("INRPP Jain index", Fig3Paper.INRPJain, r.INRPJain, "")
+	return c.Table()
+}

@@ -1,0 +1,209 @@
+package flowsim
+
+import (
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// optimisticOverflow is the practically-infinite overflow request used by
+// non-final pooling rounds; the planner caps grants by donor residuals.
+const optimisticOverflow = 1e15 // 1 Pbps
+
+// allocate computes the current per-flow rates (bits/s) and the expected
+// hop count of each flow's traffic (primary hops plus the rate-weighted
+// detour extension), according to the configured policy.
+func (r *runner) allocate() (rates []float64, hopsExp []float64) {
+	paths := make([][]int32, len(r.active))
+	hopsExp = make([]float64, len(r.active))
+	for i, f := range r.active {
+		paths[i] = f.arcs
+		hopsExp[i] = f.hops
+	}
+	var caps []float64
+	if r.cfg.DemandCap > 0 {
+		caps = make([]float64, len(r.active))
+		for i := range caps {
+			caps[i] = float64(r.cfg.DemandCap)
+		}
+	}
+
+	if r.cfg.Policy != INRP {
+		r.detourRate = 0
+		return progressiveFill(paths, r.capBase, caps), hopsExp
+	}
+	return r.allocateINRP(paths, hopsExp, caps)
+}
+
+// allocateINRP runs the pooling fixpoint of §3: fill max-min on primary
+// paths, shift each saturated arc's overflow onto detour sub-paths with
+// spare capacity (capacity-aware, via the core planner), fold the pooled
+// capacity back into the filling, and iterate. Overflow that no detour
+// can absorb is back-pressured: the affected flows are rate-capped in a
+// final feasibility pass.
+func (r *runner) allocateINRP(paths [][]int32, hopsExp []float64, caps []float64) ([]float64, []float64) {
+	n := r.nArcs
+	zero(r.grantsFor)
+	zero(r.detourLoad)
+	zero(r.extraWeighted)
+
+	capEff := make([]float64, n)
+	primaryLoad := make([]float64, n)
+	var rates []float64
+
+	for round := 0; round < r.cfg.PoolingRounds; round++ {
+		final := round == r.cfg.PoolingRounds-1
+
+		// Effective capacity for primary filling: the arc's own rate plus
+		// whatever overflow it may ship over detours. Donor arcs keep their
+		// full rate for primary traffic — pooling uses spare capacity only
+		// (§3.3: forward toward the detour "exactly as much traffic as this
+		// detour path can accommodate").
+		for a := 0; a < n; a++ {
+			capEff[a] = r.capBase[a] + r.grantsFor[a]
+		}
+		rates = progressiveFill(paths, capEff, caps)
+
+		zero(primaryLoad)
+		for i, p := range paths {
+			for _, a := range p {
+				primaryLoad[a] += rates[i]
+			}
+		}
+
+		// Re-plan every saturated arc's detours from scratch against the
+		// new loads. Actually-overloaded arcs are served first; merely
+		// saturated arcs get optimistic grants (in non-final rounds) so
+		// their frozen flows can grow into pooled capacity next round. The
+		// final round plans only real overflow, keeping the metrics honest.
+		type congested struct {
+			arc  int
+			over float64
+		}
+		var cands []congested
+		for a := 0; a < n; a++ {
+			over := primaryLoad[a] - r.capBase[a]
+			saturated := r.capBase[a]-primaryLoad[a] <= saturationEps(r.capBase[a])
+			if over > saturationEps(r.capBase[a]) || (!final && saturated) {
+				cands = append(cands, congested{arc: a, over: over})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].over != cands[j].over {
+				return cands[i].over > cands[j].over
+			}
+			return cands[i].arc < cands[j].arc
+		})
+
+		zero(r.grantsFor)
+		zero(r.detourLoad)
+		zero(r.extraWeighted)
+		for _, c := range cands {
+			req := primaryLoad[c.arc] + r.detourLoad[c.arc] - r.capBase[c.arc]
+			if !final {
+				// Optimistic: take whatever the detours can spare; the
+				// planner caps the request by donor residuals.
+				req = optimisticOverflow
+			}
+			if req <= 0 {
+				continue
+			}
+			a := c.arc
+			residual := func(b topo.Arc) float64 {
+				bi := r.arcOf(b)
+				res := r.capBase[bi] - primaryLoad[bi] - r.detourLoad[bi]
+				if res < 0 {
+					return 0
+				}
+				return res
+			}
+			grants, _ := r.planner.Plan(r.arcBack[a], bitRate(req), residualAdapter(residual))
+			for _, gr := range grants {
+				rate := float64(gr.Rate)
+				r.grantsFor[a] += rate
+				r.extraWeighted[a] += rate * float64(gr.Sub.Extra)
+				for _, b := range gr.Arcs {
+					r.detourLoad[r.arcOf(b)] += rate
+				}
+			}
+		}
+	}
+
+	// Final feasibility (back-pressure) pass: any arc whose direct traffic
+	// plus landed detour traffic still exceeds capacity caps the flows
+	// crossing it. Grants are consistent with the final loads by
+	// construction, so violations only stem from unplaced overflow.
+	r.enforceFeasibility(paths, rates, primaryLoad)
+
+	// Stretch expectation and aggregate detour rate from the final plan.
+	r.detourRate = 0
+	for a := 0; a < r.nArcs; a++ {
+		r.detourRate += r.grantsFor[a]
+	}
+	for i, p := range paths {
+		extra := 0.0
+		for _, a := range p {
+			if r.grantsFor[a] <= 0 || primaryLoad[a] <= 0 {
+				continue
+			}
+			phi := r.grantsFor[a] / primaryLoad[a]
+			if phi > 1 {
+				phi = 1
+			}
+			extra += phi * (r.extraWeighted[a] / r.grantsFor[a])
+		}
+		hopsExp[i] += extra
+	}
+	return rates, hopsExp
+}
+
+// enforceFeasibility rate-caps flows on arcs whose overflow could not be
+// fully detoured — the fluid expression of the back-pressure phase.
+func (r *runner) enforceFeasibility(paths [][]int32, rates, primaryLoad []float64) {
+	for pass := 0; pass < r.nArcs; pass++ {
+		worst, worstExcess := -1, 0.0
+		for a := 0; a < r.nArcs; a++ {
+			direct := primaryLoad[a] - r.grantsFor[a]
+			excess := direct + r.detourLoad[a] - r.capBase[a]
+			if excess > saturationEps(r.capBase[a])+1e-9 && excess > worstExcess {
+				worst, worstExcess = a, excess
+			}
+		}
+		if worst < 0 {
+			return
+		}
+		r.res.Backpressured++
+		if primaryLoad[worst] <= 0 {
+			// Excess comes entirely from landed detours; shrink grants
+			// proportionally instead (donors were over-granted).
+			return
+		}
+		factor := 1 - worstExcess/primaryLoad[worst]
+		if factor < 0 {
+			factor = 0
+		}
+		for i, p := range paths {
+			onArc := false
+			for _, a := range p {
+				if a == int32(worst) {
+					onArc = true
+					break
+				}
+			}
+			if !onArc {
+				continue
+			}
+			cut := rates[i] * (1 - factor)
+			rates[i] -= cut
+			for _, a := range p {
+				primaryLoad[a] -= cut
+			}
+		}
+	}
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}

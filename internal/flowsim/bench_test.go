@@ -1,0 +1,82 @@
+package flowsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func benchFlows(g *topo.Graph, n int) []workload.Flow {
+	return workload.Generate(workload.Spec{
+		Arrivals: workload.NewPoisson(50, 1),
+		Sizes:    workload.NewBoundedPareto(1.5, 10*units.MB, units.GB, 2),
+		Matrix:   workload.NewGravity(g, 3),
+		Count:    n,
+	})
+}
+
+func BenchmarkProgressiveFill(b *testing.B) {
+	g := topo.MustBuildISP(topo.Exodus)
+	flows := benchFlows(g, 200)
+	// Pre-resolve paths once; the benchmark measures the filler itself.
+	nArcs := 2 * g.NumLinks()
+	capacity := make([]float64, nArcs)
+	for _, l := range g.Links() {
+		capacity[2*int(l.ID)] = float64(l.Capacity)
+		capacity[2*int(l.ID)+1] = float64(l.Capacity)
+	}
+	paths := make([][]int32, 0, len(flows))
+	for _, f := range flows {
+		p := topoPath(g, f)
+		paths = append(paths, p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		progressiveFill(paths, capacity, nil)
+	}
+}
+
+func topoPath(g *topo.Graph, f workload.Flow) []int32 {
+	r := &runner{cfg: Config{Graph: g, Policy: SP}, g: g}
+	r.init()
+	p := r.pathFor(f)
+	arcs, err := p.Arcs(g)
+	if err != nil {
+		panic(err)
+	}
+	out := make([]int32, len(arcs))
+	for i, a := range arcs {
+		out[i] = r.arcOf(a)
+	}
+	return out
+}
+
+func BenchmarkRunSP(b *testing.B) {
+	g := topo.MustBuildISP(topo.Exodus)
+	g.SetAllCapacities(450 * units.Mbps)
+	flows := benchFlows(g, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Graph: g, Policy: SP, Flows: flows,
+			Horizon: 5 * time.Second, DemandCap: 300 * units.Mbps}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunINRP(b *testing.B) {
+	g := topo.MustBuildISP(topo.Exodus)
+	g.SetAllCapacities(450 * units.Mbps)
+	flows := benchFlows(g, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Graph: g, Policy: INRP, Flows: flows,
+			Horizon: 5 * time.Second, DemandCap: 300 * units.Mbps}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

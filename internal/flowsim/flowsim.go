@@ -1,0 +1,391 @@
+// Package flowsim is the flow-level fluid simulator used for the paper's
+// Figure 4 evaluation: flows arrive over a topology, bandwidth is shared
+// max-min fairly given the routing policy, and flows drain at their
+// allocated rates until done.
+//
+// Three routing policies are provided, matching the paper's comparison:
+//
+//   - SP: single shortest-path routing; the TCP-style baseline.
+//   - ECMP: equal-cost multipath; each flow is hashed onto one of the
+//     equal-cost shortest paths.
+//   - INRP: shortest-path primaries plus in-network resource pooling —
+//     when an arc saturates, its overflow is shifted onto detour sub-paths
+//     with spare capacity (via core.Planner), and what cannot be placed is
+//     back-pressured (§3.3).
+//
+// The simulator is deterministic: no goroutines, no wall-clock, explicit
+// seeds in the workload.
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Policy selects the routing/pooling behaviour of a run.
+type Policy int
+
+// The three policies of Figure 4 (the paper labels INRP "URP" in the
+// figure's legend).
+const (
+	SP Policy = iota
+	ECMP
+	INRP
+)
+
+// String names the policy as in the paper's Figure 4 legend.
+func (p Policy) String() string {
+	switch p {
+	case SP:
+		return "SP"
+	case ECMP:
+		return "ECMP"
+	case INRP:
+		return "INRP"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Graph  *topo.Graph
+	Policy Policy
+	Flows  []workload.Flow // must be sorted by arrival time
+
+	// Horizon stops the simulation at this virtual time; 0 runs until all
+	// flows complete.
+	Horizon time.Duration
+
+	// Planner configures INRP detour planning (ignored for SP/ECMP).
+	// Zero value means core.DefaultPlannerConfig.
+	Planner core.PlannerConfig
+
+	// PoolingRounds is the number of fill→plan fixpoint iterations of the
+	// INRP allocator per event (default 4).
+	PoolingRounds int
+
+	// DemandCap bounds every flow's rate (CBR-like demand). Zero means
+	// elastic flows. With a cap set, Result.DemandSatisfied reports the
+	// time-averaged fraction of aggregate demand the network carried —
+	// the "network throughput" metric of Fig. 4a.
+	DemandCap units.BitRate
+}
+
+// Result aggregates a run's outcome.
+type Result struct {
+	Policy    Policy
+	Offered   units.ByteSize // bytes of all arrived flows
+	Delivered units.ByteSize // bytes actually moved by the horizon
+	Duration  time.Duration  // virtual time simulated
+	Total     int            // flows arrived
+	Completed int            // flows fully delivered
+
+	// GoodputRatio is Delivered/Offered — the "network throughput" metric
+	// of Fig. 4a: under overload it measures how much of the offered load
+	// the policy actually carried.
+	GoodputRatio float64
+	// Utilization is the byte-weighted mean utilisation of all arcs.
+	Utilization float64
+	// FCTSeconds summarises completion times of completed flows.
+	FCTSeconds stats.Summary
+	// Stretch holds the rate-weighted path stretch of each completed
+	// flow (Fig. 4b).
+	Stretch []float64
+	// MeanRates holds size/FCT (bits/s) per completed flow, the input to
+	// Jain below.
+	MeanRates []float64
+	// Jain is Jain's fairness index over MeanRates.
+	Jain float64
+	// DetouredShare is the fraction of delivered bits that travelled over
+	// a detour sub-path instead of a primary arc (INRP only).
+	DetouredShare float64
+	// Backpressured counts allocator passes where overflow could not be
+	// fully detoured and had to be rate-capped (INRP only).
+	Backpressured int
+	// DemandSatisfied is the time-averaged Σ allocated / Σ demanded over
+	// the run (only meaningful with Config.DemandCap set).
+	DemandSatisfied float64
+}
+
+// flowState is one active flow inside the simulator.
+type flowState struct {
+	id      int
+	path    route.Path
+	arcs    []int32 // arc indexes of the primary path
+	hops    float64 // primary hop count
+	arrival float64 // seconds
+
+	remaining float64 // bits left
+	sizeBits  float64
+	delivered float64 // bits moved
+	hopBits   float64 // Σ (expected hops at epoch) × bits moved, for stretch
+}
+
+// Run executes the simulation described by cfg.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("flowsim: nil graph")
+	}
+	if cfg.PoolingRounds <= 0 {
+		cfg.PoolingRounds = 4
+	}
+	if cfg.Planner == (core.PlannerConfig{}) {
+		cfg.Planner = core.DefaultPlannerConfig()
+	}
+	r := &runner{cfg: cfg, g: cfg.Graph}
+	r.init()
+	return r.run()
+}
+
+// runner holds the mutable simulation state.
+type runner struct {
+	cfg Config
+	g   *topo.Graph
+
+	nArcs   int
+	capBase []float64 // bits/s per arc
+	arcOf   func(topo.Arc) int32
+	arcBack []topo.Arc // index → Arc
+
+	spTrees map[topo.NodeID]*route.Tree
+	ecmp    map[topo.NodeID]*route.ECMP
+	planner *core.Planner
+
+	active []*flowState
+	res    Result
+
+	// INRP pooling state, recomputed at every allocation.
+	grantsFor     []float64 // per arc: overflow successfully detoured
+	detourLoad    []float64 // per arc: detour traffic landed on it
+	extraWeighted []float64 // per arc: Σ grant rate × extra hops
+	detourRate    float64   // bits/s currently travelling via detours
+	arcBusy       []float64 // bits carried per arc (utilisation)
+	detourBits    float64
+
+	satBits    float64 // Σ allocated rate × dt (demand-capped runs)
+	demandBits float64 // Σ demanded rate × dt
+}
+
+// bitRate converts allocator floats back to the planner's unit type.
+func bitRate(x float64) units.BitRate { return units.BitRate(x) }
+
+// residualAdapter bridges the allocator's float residuals to the core
+// planner's typed ResidualFunc.
+func residualAdapter(f func(topo.Arc) float64) core.ResidualFunc {
+	return func(a topo.Arc) units.BitRate { return units.BitRate(f(a)) }
+}
+
+func (r *runner) init() {
+	links := r.g.NumLinks()
+	r.nArcs = 2 * links
+	r.capBase = make([]float64, r.nArcs)
+	r.arcBack = make([]topo.Arc, r.nArcs)
+	for _, l := range r.g.Links() {
+		r.capBase[2*int(l.ID)] = float64(l.Capacity)
+		r.capBase[2*int(l.ID)+1] = float64(l.Capacity)
+		r.arcBack[2*int(l.ID)] = topo.Arc{Link: l.ID, Dir: topo.Forward}
+		r.arcBack[2*int(l.ID)+1] = topo.Arc{Link: l.ID, Dir: topo.Reverse}
+	}
+	r.arcOf = func(a topo.Arc) int32 { return int32(2*int(a.Link) + int(a.Dir)) }
+	r.spTrees = make(map[topo.NodeID]*route.Tree)
+	r.ecmp = make(map[topo.NodeID]*route.ECMP)
+	if r.cfg.Policy == INRP {
+		r.planner = core.NewPlanner(r.g, r.cfg.Planner)
+	}
+	r.grantsFor = make([]float64, r.nArcs)
+	r.detourLoad = make([]float64, r.nArcs)
+	r.extraWeighted = make([]float64, r.nArcs)
+	r.arcBusy = make([]float64, r.nArcs)
+	r.res.Policy = r.cfg.Policy
+}
+
+// pathFor routes a newly arrived flow according to the policy.
+func (r *runner) pathFor(f workload.Flow) route.Path {
+	switch r.cfg.Policy {
+	case ECMP:
+		e, ok := r.ecmp[f.Dst]
+		if !ok {
+			e = route.NewECMP(r.g, f.Dst)
+			r.ecmp[f.Dst] = e
+		}
+		return e.PathFor(f.Src, uint64(f.ID)+0x9e3779b97f4a7c15)
+	default: // SP and INRP use shortest-path primaries
+		t, ok := r.spTrees[f.Src]
+		if !ok {
+			t = route.Dijkstra(r.g, f.Src, nil, nil)
+			r.spTrees[f.Src] = t
+		}
+		return t.PathTo(f.Dst)
+	}
+}
+
+func (r *runner) admit(f workload.Flow, now float64) error {
+	p := r.pathFor(f)
+	if p == nil {
+		return fmt.Errorf("flowsim: flow %d: no path %d→%d", f.ID, f.Src, f.Dst)
+	}
+	arcs, err := p.Arcs(r.g)
+	if err != nil {
+		return err
+	}
+	idx := make([]int32, len(arcs))
+	for i, a := range arcs {
+		idx[i] = r.arcOf(a)
+	}
+	r.active = append(r.active, &flowState{
+		id:        f.ID,
+		path:      p,
+		arcs:      idx,
+		hops:      float64(len(arcs)),
+		arrival:   now,
+		remaining: f.Size.Bits(),
+		sizeBits:  f.Size.Bits(),
+	})
+	r.res.Offered += f.Size
+	r.res.Total++
+	return nil
+}
+
+// run is the fluid event loop: allocate, advance to the next event,
+// repeat.
+func (r *runner) run() (*Result, error) {
+	flows := r.cfg.Flows
+	next := 0
+	now := 0.0
+	horizon := math.Inf(1)
+	if r.cfg.Horizon > 0 {
+		horizon = r.cfg.Horizon.Seconds()
+	}
+
+	// Admit flows arriving at t=0 (or the first batch).
+	for next < len(flows) && flows[next].Arrival.Seconds() <= now {
+		if err := r.admit(flows[next], now); err != nil {
+			return nil, err
+		}
+		next++
+	}
+
+	for now < horizon && (len(r.active) > 0 || next < len(flows)) {
+		rates, hopsExp := r.allocate()
+
+		// Next event: first arrival or earliest completion.
+		tEvent := horizon
+		if next < len(flows) {
+			if ta := flows[next].Arrival.Seconds(); ta < tEvent {
+				tEvent = ta
+			}
+		}
+		for i, f := range r.active {
+			if rates[i] <= 0 {
+				continue
+			}
+			tc := now + f.remaining/rates[i]
+			if tc < tEvent {
+				tEvent = tc
+			}
+		}
+		if math.IsInf(tEvent, 1) || tEvent <= now {
+			// Nothing can progress (all rates zero, no arrivals): jump to
+			// the next arrival or stop.
+			if next < len(flows) {
+				tEvent = flows[next].Arrival.Seconds()
+			} else {
+				break
+			}
+		}
+		dt := tEvent - now
+
+		// Advance flows and per-arc utilisation accounting.
+		for i, f := range r.active {
+			moved := rates[i] * dt
+			if moved > f.remaining {
+				moved = f.remaining
+			}
+			f.remaining -= moved
+			f.delivered += moved
+			f.hopBits += moved * hopsExp[i]
+			for _, a := range f.arcs {
+				r.arcBusy[a] += moved
+			}
+			r.satBits += moved
+		}
+		if r.cfg.DemandCap > 0 {
+			r.demandBits += float64(r.cfg.DemandCap) * float64(len(r.active)) * dt
+		}
+		if r.cfg.Policy == INRP {
+			r.detourBits += r.detourRate * dt
+		}
+		now = tEvent
+
+		// Completions.
+		kept := r.active[:0]
+		for _, f := range r.active {
+			if f.remaining <= 1e-3 { // sub-millibit residue: done
+				r.finish(f, now)
+				continue
+			}
+			kept = append(kept, f)
+		}
+		r.active = kept
+
+		// Arrivals at the new time.
+		for next < len(flows) && flows[next].Arrival.Seconds() <= now+1e-12 {
+			if err := r.admit(flows[next], now); err != nil {
+				return nil, err
+			}
+			next++
+		}
+	}
+
+	// Horizon reached: account bytes moved by still-active flows.
+	for _, f := range r.active {
+		r.res.Delivered += units.ByteSize(f.delivered / 8)
+	}
+	r.finalize(now)
+	return &r.res, nil
+}
+
+func (r *runner) finish(f *flowState, now float64) {
+	r.res.Completed++
+	r.res.Delivered += units.ByteSize(f.delivered / 8)
+	fct := now - f.arrival
+	if fct <= 0 {
+		fct = 1e-9
+	}
+	r.res.FCTSeconds.Add(fct)
+	r.res.MeanRates = append(r.res.MeanRates, f.sizeBits/fct)
+	if f.hops > 0 && f.delivered > 0 {
+		r.res.Stretch = append(r.res.Stretch, f.hopBits/(f.delivered*f.hops))
+	}
+}
+
+func (r *runner) finalize(now float64) {
+	r.res.Duration = time.Duration(now * float64(time.Second))
+	if r.res.Offered > 0 {
+		r.res.GoodputRatio = float64(r.res.Delivered) / float64(r.res.Offered)
+	}
+	var busy, capTime float64
+	for a := 0; a < r.nArcs; a++ {
+		busy += r.arcBusy[a]
+		capTime += r.capBase[a] * now
+	}
+	if capTime > 0 {
+		r.res.Utilization = busy / capTime
+	}
+	r.res.Jain = stats.JainIndex(r.res.MeanRates)
+	if r.res.Delivered > 0 {
+		r.res.DetouredShare = r.detourBits / r.res.Delivered.Bits()
+	}
+	if r.demandBits > 0 {
+		r.res.DemandSatisfied = r.satBits / r.demandBits
+	}
+}

@@ -1,0 +1,137 @@
+// Package report renders experiment results as aligned text tables and
+// CSV, including paper-vs-measured comparisons.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple titled grid.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are kept.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < len(widths); i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (headers first, no title).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		padded := make([]string, len(t.Headers))
+		copy(padded, row)
+		if err := cw.Write(padded); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with two decimals, Table 1 style.
+func Pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// F3 formats a float with three decimals.
+func F3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// Comparison is a set of paper-vs-measured rows for one experiment.
+type Comparison struct {
+	Name string
+	Rows []CompareRow
+}
+
+// CompareRow is one quantity compared against the paper.
+type CompareRow struct {
+	Label    string
+	Paper    float64
+	Measured float64
+	Unit     string
+}
+
+// Add appends a comparison row.
+func (c *Comparison) Add(label string, paper, measured float64, unit string) {
+	c.Rows = append(c.Rows, CompareRow{Label: label, Paper: paper, Measured: measured, Unit: unit})
+}
+
+// Table renders the comparison with an absolute-delta column.
+func (c *Comparison) Table() *Table {
+	t := New(c.Name, "quantity", "paper", "measured", "delta", "unit")
+	for _, r := range c.Rows {
+		t.AddRow(r.Label,
+			fmt.Sprintf("%.4g", r.Paper),
+			fmt.Sprintf("%.4g", r.Measured),
+			fmt.Sprintf("%+.4g", r.Measured-r.Paper),
+			r.Unit)
+	}
+	return t
+}

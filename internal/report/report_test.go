@@ -1,0 +1,71 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := New("My Title", "col1", "column2")
+	tbl.AddRow("a", "bb")
+	tbl.AddRow("longer-cell", "c", "extra")
+	out := tbl.String()
+	if !strings.Contains(out, "My Title") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// Columns must be aligned: "column2" starts at the same offset in the
+	// header and both rows.
+	off := strings.Index(lines[1], "column2")
+	if off < 0 {
+		t.Fatal("header missing column2")
+	}
+	if lines[3][off-1] == ' ' && lines[3][off] == ' ' && !strings.HasPrefix(lines[3][off:], "bb") {
+		// row "a" has "bb" in column 2
+		t.Errorf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := New("t", "a", "b")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("only-one")
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\nonly-one,\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.5280) != "52.80%" {
+		t.Errorf("Pct = %q", Pct(0.5280))
+	}
+	if F3(1.23456) != "1.235" {
+		t.Errorf("F3 = %q", F3(1.23456))
+	}
+}
+
+func TestComparison(t *testing.T) {
+	c := &Comparison{Name: "cmp"}
+	c.Add("jain", 0.735, 0.7353, "")
+	c.Add("rate", 2, 2, "Mbps")
+	tbl := c.Table()
+	out := tbl.String()
+	if !strings.Contains(out, "jain") || !strings.Contains(out, "Mbps") {
+		t.Errorf("comparison table missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "+0.0003") {
+		t.Errorf("delta column missing:\n%s", out)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(tbl.Rows))
+	}
+}

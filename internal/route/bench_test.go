@@ -1,0 +1,48 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func BenchmarkDijkstraLevel3(b *testing.B) {
+	g := topo.MustBuildISP(topo.Level3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, topo.NodeID(i%g.NumNodes()), nil, nil)
+	}
+}
+
+func BenchmarkDetourClassifyLink(b *testing.B) {
+	g := topo.MustBuildISP(topo.ATT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(g, topo.LinkID(i%g.NumLinks()))
+	}
+}
+
+func BenchmarkAnalyzeExodus(b *testing.B) {
+	g := topo.MustBuildISP(topo.Exodus)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(g)
+	}
+}
+
+func BenchmarkECMPBuild(b *testing.B) {
+	g := topo.MustBuildISP(topo.Tiscali)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewECMP(g, topo.NodeID(i%g.NumNodes()))
+	}
+}
+
+func BenchmarkSubpaths(b *testing.B) {
+	g := topo.MustBuildISP(topo.Level3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Subpaths(g, topo.LinkID(i%g.NumLinks()), true, 8)
+	}
+}

@@ -1,0 +1,163 @@
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Class categorises a link by the shortest alternative path between its
+// endpoints when the link itself is removed — the columns of the paper's
+// Table 1. A "1 hop" detour replaces the link with a two-link path through
+// one intermediate node, and so on.
+type Class int
+
+// Detour classes in Table 1 column order.
+const (
+	ClassOneHop    Class = iota // alternative path via 1 intermediate node
+	ClassTwoHop                 // via 2 intermediate nodes
+	ClassThreePlus              // via 3 or more intermediate nodes
+	ClassNone                   // bridge: no alternative path ("N/A")
+)
+
+// NumClasses is the number of detour classes.
+const NumClasses = 4
+
+// String returns the Table 1 column header for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassOneHop:
+		return "1 hop"
+	case ClassTwoHop:
+		return "2 hops"
+	case ClassThreePlus:
+		return "3+ hops"
+	case ClassNone:
+		return "N/A"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classify determines the detour class of a link and the hop length of its
+// shortest alternative path (0 when none exists): BFS between the link's
+// endpoints with the link excluded.
+func Classify(g *topo.Graph, id topo.LinkID) (Class, int) {
+	l := g.Link(id)
+	dist := HopDistances(g, l.A, AvoidLink(id))
+	alt := dist[l.B]
+	switch {
+	case alt < 0:
+		return ClassNone, 0
+	case alt == 2:
+		return ClassOneHop, alt
+	case alt == 3:
+		return ClassTwoHop, alt
+	default: // alt ≥ 4; alt == 1 is impossible in a simple graph
+		return ClassThreePlus, alt
+	}
+}
+
+// Profile is the detour-availability distribution of a topology: the data
+// behind one row of Table 1.
+type Profile struct {
+	Total   int
+	Counts  [NumClasses]int
+	PerLink []Class // indexed by LinkID
+}
+
+// Analyze classifies every link of g.
+func Analyze(g *topo.Graph) Profile {
+	p := Profile{Total: g.NumLinks(), PerLink: make([]Class, g.NumLinks())}
+	for _, l := range g.Links() {
+		c, _ := Classify(g, l.ID)
+		p.Counts[c]++
+		p.PerLink[l.ID] = c
+	}
+	return p
+}
+
+// Fraction returns the share of links in the given class.
+func (p Profile) Fraction(c Class) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Counts[c]) / float64(p.Total)
+}
+
+// Targets converts the profile to topo.DetourTargets fractions, the
+// calibration format of the synthetic ISP generator.
+func (p Profile) Targets() topo.DetourTargets {
+	return topo.DetourTargets{
+		OneHop:    p.Fraction(ClassOneHop),
+		TwoHop:    p.Fraction(ClassTwoHop),
+		ThreePlus: p.Fraction(ClassThreePlus),
+		None:      p.Fraction(ClassNone),
+	}
+}
+
+// String renders the profile as Table 1 percentages.
+func (p Profile) String() string {
+	return fmt.Sprintf("1hop %.2f%%  2hop %.2f%%  3+ %.2f%%  N/A %.2f%% (%d links)",
+		100*p.Fraction(ClassOneHop), 100*p.Fraction(ClassTwoHop),
+		100*p.Fraction(ClassThreePlus), 100*p.Fraction(ClassNone), p.Total)
+}
+
+// Subpath is one candidate detour around a protected link: a path between
+// the link's endpoints that does not use the link. Extra reports how many
+// hops the detour adds compared to the direct link.
+type Subpath struct {
+	Path  Path
+	Extra int
+}
+
+// Subpaths enumerates candidate detours around link id, in deterministic
+// order, shortest first:
+//
+//   - 1-hop detours u-w-v (the paper's primary mechanism), then
+//   - if extraHop is true, 2-hop detours u-w-x-v (the paper's "nodes on the
+//     detour path can further detour, but for one extra hop only").
+//
+// maxCandidates ≤ 0 means no limit.
+func Subpaths(g *topo.Graph, id topo.LinkID, extraHop bool, maxCandidates int) []Subpath {
+	l := g.Link(id)
+	u, v := l.A, l.B
+	var out []Subpath
+
+	appendCand := func(p Path, extra int) bool {
+		out = append(out, Subpath{Path: p, Extra: extra})
+		return maxCandidates <= 0 || len(out) < maxCandidates
+	}
+
+	// 1-hop: common neighbors of u and v.
+	for _, w := range g.Neighbors(u) {
+		if w == v {
+			continue
+		}
+		if g.HasLink(w, v) {
+			if !appendCand(Path{u, w, v}, 1) {
+				return out
+			}
+		}
+	}
+	if !extraHop {
+		return out
+	}
+	// 2-hop: u-w-x-v with all four nodes distinct and (w,x) linked.
+	for _, w := range g.Neighbors(u) {
+		if w == v {
+			continue
+		}
+		for _, x := range g.Neighbors(w) {
+			if x == u || x == v || x == w {
+				continue
+			}
+			if g.HasLink(x, v) {
+				if !appendCand(Path{u, w, x, v}, 2) {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

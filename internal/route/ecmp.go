@@ -1,0 +1,97 @@
+package route
+
+import (
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// ECMP holds the equal-cost multipath structure toward one destination:
+// for every node, the set of next hops lying on some hop-count shortest
+// path to the destination. It corresponds to the per-destination DAG that
+// ECMP routers balance over.
+type ECMP struct {
+	Dst      topo.NodeID
+	Dist     []int           // hop distance to Dst, -1 when unreachable
+	NextHops [][]topo.NodeID // per node, sorted by ID
+}
+
+// NewECMP computes the ECMP DAG toward dst.
+func NewECMP(g *topo.Graph, dst topo.NodeID) *ECMP {
+	dist := HopDistances(g, dst, nil)
+	nh := make([][]topo.NodeID, g.NumNodes())
+	for _, node := range g.Nodes() {
+		u := node.ID
+		if dist[u] <= 0 { // unreachable or the destination itself
+			continue
+		}
+		for _, lid := range g.IncidentLinks(u) {
+			v := g.Link(lid).Other(u)
+			if dist[v] >= 0 && dist[v] == dist[u]-1 {
+				nh[u] = append(nh[u], v)
+			}
+		}
+		sort.Slice(nh[u], func(i, j int) bool { return nh[u][i] < nh[u][j] })
+	}
+	return &ECMP{Dst: dst, Dist: dist, NextHops: nh}
+}
+
+// PathFor walks the DAG from src, selecting among equal-cost next hops by
+// the flow key, exactly like hash-based ECMP splitting: the same key always
+// takes the same path, different keys spread across the available paths.
+// Returns nil if src cannot reach the destination.
+func (e *ECMP) PathFor(src topo.NodeID, key uint64) Path {
+	if e.Dist[src] < 0 {
+		return nil
+	}
+	p := Path{src}
+	cur := src
+	h := splitmix64(key)
+	for cur != e.Dst {
+		hops := e.NextHops[cur]
+		if len(hops) == 0 {
+			return nil
+		}
+		next := hops[int(h%uint64(len(hops)))]
+		h = splitmix64(h)
+		p = append(p, next)
+		cur = next
+	}
+	return p
+}
+
+// Paths enumerates up to max distinct equal-cost shortest paths from src,
+// in deterministic (lexicographic next-hop) order. max ≤ 0 means no limit.
+func (e *ECMP) Paths(src topo.NodeID, max int) []Path {
+	if e.Dist[src] < 0 {
+		return nil
+	}
+	var out []Path
+	var walk func(cur topo.NodeID, acc Path) bool
+	walk = func(cur topo.NodeID, acc Path) bool {
+		if max > 0 && len(out) >= max {
+			return false
+		}
+		if cur == e.Dst {
+			out = append(out, acc.Clone())
+			return true
+		}
+		for _, next := range e.NextHops[cur] {
+			if !walk(next, append(acc, next)) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(src, Path{src})
+	return out
+}
+
+// splitmix64 is the SplitMix64 mixing function: a fast, well-distributed
+// way to derive per-hop choices from a flow key.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,126 @@
+package route
+
+import (
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// KShortest returns up to k loopless shortest paths from src to dst in
+// increasing hop-count order (ties broken lexicographically), using Yen's
+// algorithm over hop-count Dijkstra.
+func KShortest(g *topo.Graph, src, dst topo.NodeID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first := ShortestPath(g, src, dst)
+	if first == nil {
+		return nil
+	}
+	accepted := []Path{first}
+	var candidates []Path
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1]
+		// For each node of the previous path except the last, branch off.
+		for i := 0; i+1 < len(prev); i++ {
+			spurNode := prev[i]
+			rootPath := prev[:i+1]
+
+			avoidLinks := map[topo.LinkID]bool{}
+			for _, p := range accepted {
+				if len(p) > i && Path(p[:i+1]).Equal(Path(rootPath)) {
+					if l, ok := g.LinkBetween(p[i], p[i+1]); ok {
+						avoidLinks[l.ID] = true
+					}
+				}
+			}
+			avoidNodes := map[topo.NodeID]bool{}
+			for _, n := range rootPath[:len(rootPath)-1] {
+				avoidNodes[n] = true
+			}
+
+			spur := shortestPathRestricted(g, spurNode, dst, avoidLinks, avoidNodes)
+			if spur == nil {
+				continue
+			}
+			total := append(Path{}, rootPath...)
+			total = append(total, spur[1:]...)
+			if !containsPath(accepted, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].Hops() != candidates[b].Hops() {
+				return candidates[a].Hops() < candidates[b].Hops()
+			}
+			return lexLess(candidates[a], candidates[b])
+		})
+		accepted = append(accepted, candidates[0])
+		candidates = candidates[1:]
+	}
+	return accepted
+}
+
+// shortestPathRestricted is BFS shortest path honouring forbidden links and
+// nodes (the source itself is always allowed).
+func shortestPathRestricted(g *topo.Graph, src, dst topo.NodeID, avoidLinks map[topo.LinkID]bool, avoidNodes map[topo.NodeID]bool) Path {
+	if src == dst {
+		return Path{src}
+	}
+	parent := make([]topo.NodeID, g.NumNodes())
+	seen := make([]bool, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	seen[src] = true
+	queue := []topo.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, lid := range g.IncidentLinks(u) {
+			if avoidLinks[lid] {
+				continue
+			}
+			v := g.Link(lid).Other(u)
+			if seen[v] || avoidNodes[v] {
+				continue
+			}
+			seen[v] = true
+			parent[v] = u
+			if v == dst {
+				var rev Path
+				for n := dst; n != -1; n = parent[n] {
+					rev = append(rev, n)
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+func containsPath(paths []Path, p Path) bool {
+	for _, q := range paths {
+		if q.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func lexLess(a, b Path) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,169 @@
+package stats
+
+import "sort"
+
+// ECDF is an empirical cumulative distribution function built from a finite
+// sample. It answers F(x) = P[X ≤ x] and quantile queries, and can export a
+// reduced point set for plotting (as used by the Fig. 4b path-stretch CDF).
+type ECDF struct {
+	xs []float64 // ascending
+}
+
+// NewECDF builds an ECDF from samples. The input is copied.
+func NewECDF(samples []float64) *ECDF {
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	return &ECDF{xs: xs}
+}
+
+// N returns the sample count.
+func (e *ECDF) N() int { return len(e.xs) }
+
+// Eval returns F(x), the fraction of samples ≤ x.
+func (e *ECDF) Eval(x float64) float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	idx := sort.Search(len(e.xs), func(i int) bool { return e.xs[i] > x })
+	return float64(idx) / float64(len(e.xs))
+}
+
+// Quantile returns the smallest x with F(x) ≥ p, for p in (0,1]. p ≤ 0
+// returns the minimum sample; an empty ECDF returns zero.
+func (e *ECDF) Quantile(p float64) float64 {
+	n := len(e.xs)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return e.xs[0]
+	}
+	if p >= 1 {
+		return e.xs[n-1]
+	}
+	rank := int(p*float64(n)+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return e.xs[rank]
+}
+
+// Min returns the smallest sample, or zero when empty.
+func (e *ECDF) Min() float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	return e.xs[0]
+}
+
+// Max returns the largest sample, or zero when empty.
+func (e *ECDF) Max() float64 {
+	if len(e.xs) == 0 {
+		return 0
+	}
+	return e.xs[len(e.xs)-1]
+}
+
+// Point is a single (x, F(x)) coordinate of a CDF curve.
+type Point struct {
+	X float64
+	F float64
+}
+
+// Points returns at most maxPoints (x, F(x)) pairs spanning the sample
+// range, suitable for rendering the CDF as a line. With maxPoints ≤ 0 every
+// distinct sample becomes a point.
+func (e *ECDF) Points(maxPoints int) []Point {
+	n := len(e.xs)
+	if n == 0 {
+		return nil
+	}
+	var pts []Point
+	if maxPoints <= 0 || maxPoints >= n {
+		pts = make([]Point, 0, n)
+		for i, x := range e.xs {
+			if i+1 < n && e.xs[i+1] == x {
+				continue // keep only the last occurrence of each distinct x
+			}
+			pts = append(pts, Point{X: x, F: float64(i+1) / float64(n)})
+		}
+		return pts
+	}
+	pts = make([]Point, 0, maxPoints)
+	for k := 0; k < maxPoints; k++ {
+		idx := (k + 1) * n / maxPoints
+		if idx == 0 {
+			idx = 1
+		}
+		x := e.xs[idx-1]
+		pts = append(pts, Point{X: x, F: float64(idx) / float64(n)})
+	}
+	return dedupePoints(pts)
+}
+
+func dedupePoints(pts []Point) []Point {
+	out := pts[:0]
+	for i, p := range pts {
+		if i > 0 && out[len(out)-1].X == p.X {
+			out[len(out)-1] = p // keep the higher F for a duplicate x
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Histogram counts observations into equal-width bins over [Lo, Hi).
+// Observations outside the range are clamped into the first or last bin so
+// no sample is silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+// It panics if bins < 1 or hi ≤ lo, which are programming errors.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of observations that landed in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}

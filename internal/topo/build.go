@@ -1,0 +1,132 @@
+package topo
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// DefaultCapacity is the per-direction capacity assigned by the
+// deterministic builders in this file.
+const DefaultCapacity = 10 * units.Gbps
+
+// DefaultDelay is the one-way propagation delay assigned by the
+// deterministic builders in this file.
+const DefaultDelay = time.Millisecond
+
+// Line returns a path graph with n nodes and n-1 links.
+func Line(n int) *Graph {
+	g := New("line")
+	g.AddNodes(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddLink(NodeID(i), NodeID(i+1), DefaultCapacity, DefaultDelay)
+	}
+	return g
+}
+
+// Ring returns a cycle graph with n nodes and n links (n ≥ 3).
+func Ring(n int) *Graph {
+	g := New("ring")
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		g.MustAddLink(NodeID(i), NodeID((i+1)%n), DefaultCapacity, DefaultDelay)
+	}
+	return g
+}
+
+// Star returns a star graph: node 0 is the hub, nodes 1..n are leaves.
+func Star(leaves int) *Graph {
+	g := New("star")
+	hub := g.AddNode("hub")
+	for i := 0; i < leaves; i++ {
+		leaf := g.AddNode("")
+		g.MustAddLink(hub, leaf, DefaultCapacity, DefaultDelay)
+	}
+	return g
+}
+
+// Grid returns a rows×cols lattice.
+func Grid(rows, cols int) *Graph {
+	g := New("grid")
+	g.AddNodes(rows * cols)
+	at := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddLink(at(r, c), at(r, c+1), DefaultCapacity, DefaultDelay)
+			}
+			if r+1 < rows {
+				g.MustAddLink(at(r, c), at(r+1, c), DefaultCapacity, DefaultDelay)
+			}
+		}
+	}
+	return g
+}
+
+// Tree returns a complete k-ary tree of the given depth (depth 0 is a
+// single root).
+func Tree(arity, depth int) *Graph {
+	g := New("tree")
+	root := g.AddNode("root")
+	level := []NodeID{root}
+	for d := 0; d < depth; d++ {
+		var next []NodeID
+		for _, parent := range level {
+			for k := 0; k < arity; k++ {
+				child := g.AddNode("")
+				g.MustAddLink(parent, child, DefaultCapacity, DefaultDelay)
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return g
+}
+
+// Clique returns the complete graph on n nodes.
+func Clique(n int) *Graph {
+	g := New("clique")
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddLink(NodeID(i), NodeID(j), DefaultCapacity, DefaultDelay)
+		}
+	}
+	return g
+}
+
+// Fig3 returns the four-node example topology of the paper's Figure 3,
+// plus a fifth sink node so that both flows have two-hop paths:
+//
+//	src(0) --10Mbps-- r(1) --2Mbps-- dstA(2)   (the bottleneck)
+//	                   |                ^
+//	                   5Mbps            | 5Mbps
+//	                   +---- d(3) ------+      (the detour)
+//	                   |
+//	                   +--10Mbps-- dstB(4)
+//
+// Flow A runs src→dstA (through the 2 Mbps bottleneck, with a 5 Mbps
+// detour via d available); flow B runs src→dstB. Under e2e control the
+// allocation is (A,B) = (2,8) Mbps (Jain 0.73); under INRPP both flows get
+// 5 Mbps (Jain 1.0), with flow A pushing 3 Mbps over the detour.
+func Fig3() *Graph {
+	g := New("fig3")
+	src := g.AddNode("src")
+	r := g.AddNode("r")
+	dstA := g.AddNode("dstA")
+	d := g.AddNode("d")
+	dstB := g.AddNode("dstB")
+	g.MustAddLink(src, r, 10*units.Mbps, DefaultDelay)
+	g.MustAddLink(r, dstA, 2*units.Mbps, DefaultDelay)
+	g.MustAddLink(r, d, 5*units.Mbps, DefaultDelay)
+	g.MustAddLink(d, dstA, 5*units.Mbps, DefaultDelay)
+	g.MustAddLink(r, dstB, 10*units.Mbps, DefaultDelay)
+	return g
+}
+
+// Fig3FlowA and Fig3FlowB are the (src, dst) node pairs of the two flows in
+// the Fig3 topology.
+var (
+	Fig3FlowA = [2]NodeID{0, 2}
+	Fig3FlowB = [2]NodeID{0, 4}
+)

@@ -1,0 +1,306 @@
+package topo
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/units"
+)
+
+// DetourTargets is the desired distribution of link detour classes for a
+// synthesized topology, as fractions of the total link count. The four
+// fields mirror the columns of the paper's Table 1 and should sum to ~1.
+type DetourTargets struct {
+	OneHop    float64 // shortest alternative path has 1 intermediate hop
+	TwoHop    float64 // 2 intermediate hops
+	ThreePlus float64 // 3 or more intermediate hops
+	None      float64 // bridge links: no alternative path at all
+}
+
+// GadgetSpec describes a synthetic topology assembled from detour gadgets
+// around a clique core. Every gadget contributes links whose detour class
+// is known by construction, which is how the per-ISP Table 1 profiles are
+// calibrated without the original Rocketfuel data.
+type GadgetSpec struct {
+	Name    string
+	Links   int // total link budget
+	Targets DetourTargets
+
+	// Capacities per link tier; zero values pick defaults.
+	CoreCapacity units.BitRate
+	EdgeCapacity units.BitRate
+	StubCapacity units.BitRate
+	Delay        time.Duration
+}
+
+// Gadget catalogue, all attached to the clique core:
+//
+//   - clique core of c nodes:        C(c,2) links, all 1-hop detourable
+//   - petal-3 (triangle on a node):  3 links, 1-hop
+//   - pair-triangle (node on a core pair): 2 links, 1-hop
+//   - petal-4 (4-cycle on a node):   4 links, 2-hop
+//   - quad-pair (2-node path bridging a core pair): 3 links, 2-hop
+//   - petal-L, L ≥ 5 (L-cycle on a node): L links, 3+-hop
+//   - pendant chain of k nodes:      k links, all bridges (no detour)
+//
+// Petals touch a single core node, so their only articulation to the rest
+// of the graph is that node: alternative paths for petal links are exactly
+// the rest of the cycle, and gadgets cannot shorten each other's detours.
+
+// Synthesize builds a connected topology matching spec's link budget and
+// detour-class distribution as closely as integer gadget arithmetic allows
+// (deviations are at most a few links; the Table 1 experiment reports the
+// measured profile).
+func Synthesize(spec GadgetSpec) *Graph {
+	coreCap := spec.CoreCapacity
+	if coreCap == 0 {
+		coreCap = 10 * units.Gbps
+	}
+	edgeCap := spec.EdgeCapacity
+	if edgeCap == 0 {
+		edgeCap = 2500 * units.Mbps
+	}
+	stubCap := spec.StubCapacity
+	if stubCap == 0 {
+		stubCap = units.Gbps
+	}
+	delay := spec.Delay
+	if delay == 0 {
+		delay = 2 * time.Millisecond
+	}
+
+	n1, n2, n3, nna := apportion(spec.Links, spec.Targets)
+
+	// Borrow so every class is constructible: a 3+ class below the minimum
+	// petal size 5 steals the difference from the pendant-chain budget.
+	if n3 > 0 && n3 < 5 {
+		need := 5 - n3
+		if nna >= need {
+			nna -= need
+			n3 = 5
+		} else {
+			nna += n3 // too few spare links: fold 3+ into stubs
+			n3 = 0
+		}
+	}
+
+	g := New(spec.Name)
+
+	// Core clique: the largest clique fitting in the 1-hop budget whose
+	// remainder is expressible as 3·(petal-3) + 2·(pair-triangle).
+	c := maxCliqueFor(n1)
+	rem1 := n1 - c*(c-1)/2
+	core := make([]NodeID, c)
+	for i := range core {
+		core[i] = g.AddNode("")
+	}
+	for i := 0; i < c; i++ {
+		for j := i + 1; j < c; j++ {
+			g.MustAddLink(core[i], core[j], coreCap, delay)
+		}
+	}
+	if c == 0 { // degenerate: no 1-hop budget at all; still need an anchor
+		core = append(core, g.AddNode("hub"))
+	}
+
+	attach := roundRobin(core)
+	attachPair := pairRoundRobin(core)
+
+	// Remaining 1-hop links: petal-3 (3 links) and pair-triangles (2 links).
+	p3, pt := splitThreeTwo(rem1)
+	if len(core) < 2 {
+		// Pair gadgets need two adjacent core nodes; with a degenerate core
+		// their budget is spent on stubs instead.
+		nna += 2 * pt
+		pt = 0
+	}
+	for i := 0; i < p3; i++ {
+		addPetal(g, attach(), 3, edgeCap, delay)
+	}
+	for i := 0; i < pt; i++ {
+		a, b := attachPair()
+		w := g.AddNode("")
+		g.MustAddLink(w, a, edgeCap, delay)
+		g.MustAddLink(w, b, edgeCap, delay)
+	}
+
+	// 2-hop links: petal-4 (4 links) and quad-pairs (3 links). 4a+3b covers
+	// every n ≥ 3 except 5; the unreachable remainders fall back to stubs.
+	p4, qp, left2 := splitFourThree(n2)
+	if len(core) < 2 {
+		nna += 3 * qp
+		qp = 0
+	}
+	nna += left2
+	for i := 0; i < p4; i++ {
+		addPetal(g, attach(), 4, edgeCap, delay)
+	}
+	for i := 0; i < qp; i++ {
+		a, b := attachPair()
+		x := g.AddNode("")
+		y := g.AddNode("")
+		g.MustAddLink(a, x, edgeCap, delay)
+		g.MustAddLink(x, y, edgeCap, delay)
+		g.MustAddLink(y, b, edgeCap, delay)
+	}
+
+	// 3+ links: petals of size 5..9.
+	for n3 > 0 {
+		size := 5
+		switch {
+		case n3 >= 10:
+			size = 5
+		case n3 >= 5:
+			size = n3
+		default:
+			// Cannot build a petal below 5; spend the leftovers as stubs.
+			nna += n3
+			n3 = 0
+			continue
+		}
+		addPetal(g, attach(), size, edgeCap, delay)
+		n3 -= size
+	}
+
+	// No-detour links: pendant chains of up to 3 nodes.
+	for nna > 0 {
+		k := 3
+		if nna < k {
+			k = nna
+		}
+		prev := attach()
+		for i := 0; i < k; i++ {
+			next := g.AddNode("")
+			g.MustAddLink(prev, next, stubCap, delay)
+			prev = next
+		}
+		nna -= k
+	}
+
+	return g
+}
+
+// addPetal attaches a cycle of the given size to node h: h plus size-1 new
+// nodes, size links. Every petal link's shortest alternative path is the
+// rest of the cycle (size-1 links, size-2 intermediate hops).
+func addPetal(g *Graph, h NodeID, size int, capacity units.BitRate, delay time.Duration) {
+	prev := h
+	for i := 0; i < size-1; i++ {
+		next := g.AddNode("")
+		g.MustAddLink(prev, next, capacity, delay)
+		prev = next
+	}
+	g.MustAddLink(prev, h, capacity, delay)
+}
+
+// apportion converts target fractions into integer link counts summing to
+// total, using the largest-remainder method.
+func apportion(total int, t DetourTargets) (n1, n2, n3, nna int) {
+	fracs := []float64{t.OneHop, t.TwoHop, t.ThreePlus, t.None}
+	sum := fracs[0] + fracs[1] + fracs[2] + fracs[3]
+	if sum <= 0 {
+		return total, 0, 0, 0
+	}
+	counts := make([]int, 4)
+	rema := make([]float64, 4)
+	used := 0
+	for i, f := range fracs {
+		exact := f / sum * float64(total)
+		counts[i] = int(math.Floor(exact))
+		rema[i] = exact - float64(counts[i])
+		used += counts[i]
+	}
+	for used < total {
+		best := 0
+		for i := 1; i < 4; i++ {
+			if rema[i] > rema[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rema[best] = -1
+		used++
+	}
+	return counts[0], counts[1], counts[2], counts[3]
+}
+
+// maxCliqueFor returns the largest clique size c (≥ 3 when possible) such
+// that C(c,2) fits within budget and the remainder is expressible as
+// 3a+2b, i.e. is not exactly 1.
+func maxCliqueFor(budget int) int {
+	if budget < 3 {
+		return 0
+	}
+	c := 3
+	for (c+1)*c/2 <= budget {
+		c++
+	}
+	for ; c >= 3; c-- {
+		if rem := budget - c*(c-1)/2; rem >= 0 && rem != 1 {
+			return c
+		}
+	}
+	return 0
+}
+
+// splitThreeTwo expresses n as 3a+2b with minimal b. n = 1 is impossible
+// and returns (0,0); callers avoid it via maxCliqueFor.
+func splitThreeTwo(n int) (threes, twos int) {
+	if n <= 1 {
+		return 0, 0
+	}
+	switch n % 3 {
+	case 0:
+		return n / 3, 0
+	case 1: // n ≥ 4 here: 3(k-1) + 2·2
+		return n/3 - 1, 2
+	default: // n % 3 == 2
+		return n / 3, 1
+	}
+}
+
+// splitFourThree expresses n as 4a+3b, returning any unreachable remainder
+// (n = 1, 2 or 5 cannot be expressed).
+func splitFourThree(n int) (fours, threes, leftover int) {
+	if n < 3 {
+		return 0, 0, n
+	}
+	if n == 5 {
+		return 0, 1, 2 // 3 + 2 leftover
+	}
+	switch n % 4 {
+	case 0:
+		return n / 4, 0, 0
+	case 1: // n ≥ 9: 4(k-2) + 3·3
+		return n/4 - 2, 3, 0
+	case 2: // n ≥ 6: 4(k-1) + 3·2
+		return n/4 - 1, 2, 0
+	default: // n % 4 == 3
+		return n / 4, 1, 0
+	}
+}
+
+// roundRobin returns a function cycling through the given nodes.
+func roundRobin(nodes []NodeID) func() NodeID {
+	i := 0
+	return func() NodeID {
+		n := nodes[i%len(nodes)]
+		i++
+		return n
+	}
+}
+
+// pairRoundRobin returns a function cycling through adjacent pairs of the
+// given (mutually connected) core nodes.
+func pairRoundRobin(nodes []NodeID) func() (NodeID, NodeID) {
+	i := 0
+	return func() (NodeID, NodeID) {
+		if len(nodes) < 2 {
+			return nodes[0], nodes[0]
+		}
+		a := nodes[i%len(nodes)]
+		b := nodes[(i+1)%len(nodes)]
+		i++
+		return a, b
+	}
+}

@@ -1,0 +1,179 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestApportion(t *testing.T) {
+	n1, n2, n3, nna := apportion(12, DetourTargets{0.25, 0.3333, 0, 0.4167})
+	if n1 != 3 || n2 != 4 || n3 != 0 || nna != 5 {
+		t.Errorf("VSNL apportion = %d,%d,%d,%d want 3,4,0,5", n1, n2, n3, nna)
+	}
+	n1, n2, n3, nna = apportion(100, DetourTargets{1, 0, 0, 0})
+	if n1 != 100 || n2+n3+nna != 0 {
+		t.Errorf("pure 1-hop apportion wrong: %d,%d,%d,%d", n1, n2, n3, nna)
+	}
+}
+
+func TestApportionSumsToTotal(t *testing.T) {
+	f := func(a, b, c, d uint8, totRaw uint16) bool {
+		tot := int(totRaw%2000) + 1
+		targets := DetourTargets{float64(a), float64(b), float64(c), float64(d)}
+		n1, n2, n3, nna := apportion(tot, targets)
+		return n1+n2+n3+nna == tot && n1 >= 0 && n2 >= 0 && n3 >= 0 && nna >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxCliqueFor(t *testing.T) {
+	tests := []struct {
+		budget int
+		want   int
+	}{
+		{0, 0}, {1, 0}, {2, 0},
+		{3, 3},  // C(3,2)=3, rem 0
+		{4, 3},  // rem 1 would be unbuildable, but rem 1 check: 4-3=1 -> c=3 rejected? falls to... none below; want 0? no:
+		{6, 4},  // C(4,2)=6
+		{7, 3},  // C(4,2)=6 rem 1 rejected; C(3,2)=3 rem 4 ok
+		{10, 5}, // C(5,2)=10 rem 0
+		{496, 32},
+		{504, 32}, // rem 8
+	}
+	for _, tt := range tests {
+		got := maxCliqueFor(tt.budget)
+		if tt.budget == 4 {
+			// rem = 1 for c=3; c must fall back and no valid c ≥ 3 with
+			// rem != 1 exists except... C(3,2)=3 rem=1 rejected -> 0.
+			if got != 0 {
+				t.Errorf("maxCliqueFor(4) = %d, want 0", got)
+			}
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("maxCliqueFor(%d) = %d, want %d", tt.budget, got, tt.want)
+		}
+		if got > 0 {
+			rem := tt.budget - got*(got-1)/2
+			if rem == 1 || rem < 0 {
+				t.Errorf("maxCliqueFor(%d) leaves invalid remainder %d", tt.budget, rem)
+			}
+		}
+	}
+}
+
+func TestSplitThreeTwo(t *testing.T) {
+	for n := 0; n <= 50; n++ {
+		threes, twos := splitThreeTwo(n)
+		if n == 1 {
+			if threes != 0 || twos != 0 {
+				t.Errorf("splitThreeTwo(1) should give up, got %d,%d", threes, twos)
+			}
+			continue
+		}
+		if got := threes*3 + twos*2; got != n {
+			t.Errorf("splitThreeTwo(%d) = %d,%d sums to %d", n, threes, twos, got)
+		}
+		if threes < 0 || twos < 0 {
+			t.Errorf("splitThreeTwo(%d) negative", n)
+		}
+	}
+}
+
+func TestSplitFourThree(t *testing.T) {
+	for n := 0; n <= 60; n++ {
+		fours, threes, leftover := splitFourThree(n)
+		if got := fours*4 + threes*3 + leftover; got != n {
+			t.Errorf("splitFourThree(%d) components sum to %d", n, got)
+		}
+		if fours < 0 || threes < 0 || leftover < 0 {
+			t.Errorf("splitFourThree(%d) negative", n)
+		}
+		if n != 1 && n != 2 && n != 5 && leftover != 0 {
+			t.Errorf("splitFourThree(%d) has unnecessary leftover %d", n, leftover)
+		}
+	}
+}
+
+func TestSynthesizeLinkBudget(t *testing.T) {
+	for _, isp := range ISPs() {
+		g := MustBuildISP(isp)
+		spec := ispSpecs[isp]
+		// Borrowing moves links between classes but must preserve the total
+		// within a few links (unreachable 4a+3b remainders go to stubs).
+		diff := g.NumLinks() - spec.Links
+		if diff < -2 || diff > 2 {
+			t.Errorf("%s: links = %d, want %d ± 2", isp, g.NumLinks(), spec.Links)
+		}
+		if !IsConnected(g) {
+			t.Errorf("%s: not connected", isp)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := MustBuildISP(Exodus)
+	b := MustBuildISP(Exodus)
+	if a.NumNodes() != b.NumNodes() || a.NumLinks() != b.NumLinks() {
+		t.Fatal("BuildISP not deterministic in size")
+	}
+	for i := 0; i < a.NumLinks(); i++ {
+		la, lb := a.Link(LinkID(i)), b.Link(LinkID(i))
+		if la != lb {
+			t.Fatalf("link %d differs: %+v vs %+v", i, la, lb)
+		}
+	}
+}
+
+func TestSynthesizeBridgeCountMatchesNoDetourTarget(t *testing.T) {
+	// Bridges are exactly the "no detour" links, so Tarjan's bridge count
+	// must line up with the N/A budget (modulo the documented borrowing).
+	for _, isp := range ISPs() {
+		g := MustBuildISP(isp)
+		spec := ispSpecs[isp]
+		wantNA := spec.Targets.None / sumTargets(spec.Targets) * float64(spec.Links)
+		got := float64(len(Bridges(g)))
+		if math.Abs(got-wantNA) > 4 {
+			t.Errorf("%s: bridges = %v, want ≈ %.1f", isp, got, wantNA)
+		}
+	}
+}
+
+func sumTargets(t DetourTargets) float64 {
+	return t.OneHop + t.TwoHop + t.ThreePlus + t.None
+}
+
+func TestPaperDetourProfile(t *testing.T) {
+	p, err := PaperDetourProfile(Level3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OneHop != 0.9222 {
+		t.Errorf("Level3 1-hop = %v, want 0.9222", p.OneHop)
+	}
+	if _, err := PaperDetourProfile(ISP("nonexistent")); err == nil {
+		t.Error("unknown ISP should error")
+	}
+	avg := PaperAverageDetourProfile()
+	if math.Abs(sumTargets(avg)-1) > 0.001 {
+		t.Errorf("average profile sums to %v", sumTargets(avg))
+	}
+}
+
+func TestSynthesizeDegenerate(t *testing.T) {
+	// Tiny or hostile budgets must not panic, just deviate.
+	g := Synthesize(GadgetSpec{Name: "tiny", Links: 2, Targets: DetourTargets{1, 0, 0, 0}})
+	if g.NumNodes() == 0 {
+		t.Error("degenerate spec should still produce an anchored graph")
+	}
+	g = Synthesize(GadgetSpec{Name: "stubs", Links: 7, Targets: DetourTargets{0, 0, 0, 1}})
+	if !IsConnected(g) {
+		t.Error("stub-only graph should be connected")
+	}
+	if got := len(Bridges(g)); got != 7 {
+		t.Errorf("stub-only graph: %d bridges, want 7", got)
+	}
+}

@@ -1,0 +1,81 @@
+package topo
+
+import "fmt"
+
+// ISP identifies one of the nine ISP topologies evaluated in the paper's
+// Table 1 (Rocketfuel measurements). This repo ships synthetic calibrated
+// stand-ins: see ISPSpec and Synthesize.
+type ISP string
+
+// The nine ISPs of Table 1.
+const (
+	Exodus  ISP = "Exodus (US)"
+	VSNL    ISP = "VSNL (IN)"
+	Level3  ISP = "Level 3"
+	Sprint  ISP = "Sprint (US)"
+	ATT     ISP = "AT&T (US)"
+	EBONE   ISP = "EBONE (EU)"
+	Telstra ISP = "Telstra (AUS)"
+	Tiscali ISP = "Tiscali (EU)"
+	Verio   ISP = "Verio (US)"
+)
+
+// ISPs lists the nine ISPs in the paper's Table 1 row order.
+func ISPs() []ISP {
+	return []ISP{Exodus, VSNL, Level3, Sprint, ATT, EBONE, Telstra, Tiscali, Verio}
+}
+
+// Fig4ISPs lists the three topologies used in the paper's Figure 4
+// evaluation, in the figure's order.
+func Fig4ISPs() []ISP { return []ISP{Telstra, Exodus, Tiscali} }
+
+// PaperDetourProfile returns the detour-availability row published for the
+// ISP in Table 1 of the paper, as fractions.
+func PaperDetourProfile(isp ISP) (DetourTargets, error) {
+	spec, ok := ispSpecs[isp]
+	if !ok {
+		return DetourTargets{}, fmt.Errorf("topo: unknown ISP %q", isp)
+	}
+	return spec.Targets, nil
+}
+
+// PaperAverageDetourProfile returns the "Average" row of Table 1.
+func PaperAverageDetourProfile() DetourTargets {
+	return DetourTargets{OneHop: 0.5280, TwoHop: 0.3086, ThreePlus: 0.0324, None: 0.1310}
+}
+
+// ispSpecs holds the calibration for each synthetic ISP: the published
+// Table 1 fractions plus a link budget on the scale of the corresponding
+// Rocketfuel backbone map. Node/link counts are approximate (the original
+// data is not redistributable); what is preserved is the detour-class
+// distribution, which is the property the paper's evaluation depends on.
+var ispSpecs = map[ISP]GadgetSpec{
+	Exodus:  {Name: string(Exodus), Links: 217, Targets: DetourTargets{0.4977, 0.3548, 0.0668, 0.0806}},
+	VSNL:    {Name: string(VSNL), Links: 12, Targets: DetourTargets{0.2500, 0.3333, 0.0000, 0.4167}},
+	Level3:  {Name: string(Level3), Links: 546, Targets: DetourTargets{0.9222, 0.0655, 0.0068, 0.0055}},
+	Sprint:  {Name: string(Sprint), Links: 303, Targets: DetourTargets{0.5666, 0.3708, 0.0181, 0.0445}},
+	ATT:     {Name: string(ATT), Links: 487, Targets: DetourTargets{0.3484, 0.6169, 0.0072, 0.0274}},
+	EBONE:   {Name: string(EBONE), Links: 254, Targets: DetourTargets{0.5066, 0.3622, 0.0630, 0.0682}},
+	Telstra: {Name: string(Telstra), Links: 378, Targets: DetourTargets{0.7005, 0.1042, 0.0106, 0.1847}},
+	Tiscali: {Name: string(Tiscali), Links: 404, Targets: DetourTargets{0.2450, 0.3985, 0.1015, 0.2550}},
+	Verio:   {Name: string(Verio), Links: 310, Targets: DetourTargets{0.7150, 0.1709, 0.0174, 0.0968}},
+}
+
+// BuildISP synthesizes the named ISP's calibrated topology. The result is
+// deterministic: repeated calls return identical graphs.
+func BuildISP(isp ISP) (*Graph, error) {
+	spec, ok := ispSpecs[isp]
+	if !ok {
+		return nil, fmt.Errorf("topo: unknown ISP %q", isp)
+	}
+	return Synthesize(spec), nil
+}
+
+// MustBuildISP is BuildISP for callers with a known-good name.
+func MustBuildISP(isp ISP) *Graph {
+	g, err := BuildISP(isp)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

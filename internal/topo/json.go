@@ -1,0 +1,90 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/units"
+)
+
+// jsonGraph is the on-disk representation of a Graph.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Links []jsonLink `json:"links"`
+}
+
+type jsonNode struct {
+	ID   int    `json:"id"`
+	Name string `json:"name,omitempty"`
+}
+
+type jsonLink struct {
+	A        int     `json:"a"`
+	B        int     `json:"b"`
+	Capacity string  `json:"capacity"` // e.g. "10Gbps"
+	DelayMS  float64 `json:"delay_ms,omitempty"`
+}
+
+// MarshalJSON encodes the graph with human-readable capacities.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name}
+	for _, n := range g.nodes {
+		jg.Nodes = append(jg.Nodes, jsonNode{ID: int(n.ID), Name: n.Name})
+	}
+	for _, l := range g.links {
+		jg.Links = append(jg.Links, jsonLink{
+			A:        int(l.A),
+			B:        int(l.B),
+			Capacity: l.Capacity.String(),
+			DelayMS:  float64(l.Delay) / float64(time.Millisecond),
+		})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously written by MarshalJSON (or
+// hand-authored in the same schema). Node IDs must be dense 0..n-1.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("topo: decode graph: %w", err)
+	}
+	fresh := New(jg.Name)
+	for i, n := range jg.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("topo: node IDs must be dense and ordered, got %d at position %d", n.ID, i)
+		}
+		fresh.AddNode(n.Name)
+	}
+	for _, l := range jg.Links {
+		capacity, err := units.ParseBitRate(l.Capacity)
+		if err != nil {
+			return fmt.Errorf("topo: link %d-%d: %w", l.A, l.B, err)
+		}
+		delay := time.Duration(l.DelayMS * float64(time.Millisecond))
+		if _, err := fresh.AddLink(NodeID(l.A), NodeID(l.B), capacity, delay); err != nil {
+			return err
+		}
+	}
+	*g = *fresh
+	return nil
+}
+
+// WriteJSON writes the graph to w as indented JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ReadJSON parses a graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	g := New("")
+	if err := json.NewDecoder(r).Decode(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,67 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New("rt")
+	a := g.AddNode("alpha")
+	b := g.AddNode("beta")
+	c := g.AddNode("")
+	g.MustAddLink(a, b, 10*units.Gbps, 5*time.Millisecond)
+	g.MustAddLink(b, c, 2500*units.Mbps, time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if back.Name() != "rt" || back.NumNodes() != 3 || back.NumLinks() != 2 {
+		t.Fatalf("round trip lost shape: %s %d %d", back.Name(), back.NumNodes(), back.NumLinks())
+	}
+	l, ok := back.LinkBetween(0, 1)
+	if !ok || l.Capacity != 10*units.Gbps || l.Delay != 5*time.Millisecond {
+		t.Errorf("link 0-1 round trip wrong: %+v", l)
+	}
+	if back.Node(0).Name != "alpha" || back.Node(2).Name != "n2" {
+		t.Errorf("node names lost: %q %q", back.Node(0).Name, back.Node(2).Name)
+	}
+}
+
+func TestJSONRoundTripISP(t *testing.T) {
+	g := MustBuildISP(VSNL)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumLinks() != g.NumLinks() {
+		t.Error("ISP round trip changed size")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`{bad json`,
+		`{"name":"x","nodes":[{"id":5}],"links":[]}`,                                         // non-dense IDs
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"nope"}]}`, // bad capacity
+		`{"name":"x","nodes":[{"id":0}],"links":[{"a":0,"b":0,"capacity":"1Gbps"}]}`,         // self loop
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadJSON(%q) should fail", c)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ErdosRenyi returns a G(n, p) random graph. Each of the n(n-1)/2 possible
+// links is present independently with probability p. The result is
+// deterministic for a given seed but not necessarily connected; see
+// Connect.
+func ErdosRenyi(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New("erdos-renyi")
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.MustAddLink(NodeID(i), NodeID(j), DefaultCapacity, DefaultDelay)
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment random graph: nodes are
+// added one at a time, each connecting to m existing nodes with probability
+// proportional to their degree. It produces the heavy-tailed degree
+// distributions typical of router-level maps.
+func BarabasiAlbert(n, m int, seed int64) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New("barabasi-albert")
+	// Seed with a small clique of m+1 nodes so early targets exist.
+	seedNodes := m + 1
+	if seedNodes > n {
+		seedNodes = n
+	}
+	g.AddNodes(seedNodes)
+	// repeated holds node IDs once per incident link end, so sampling from
+	// it is degree-proportional.
+	var repeated []NodeID
+	for i := 0; i < seedNodes; i++ {
+		for j := i + 1; j < seedNodes; j++ {
+			g.MustAddLink(NodeID(i), NodeID(j), DefaultCapacity, DefaultDelay)
+			repeated = append(repeated, NodeID(i), NodeID(j))
+		}
+	}
+	for i := seedNodes; i < n; i++ {
+		node := g.AddNode("")
+		chosen := map[NodeID]bool{}
+		for len(chosen) < m {
+			var target NodeID
+			if len(repeated) == 0 {
+				target = NodeID(rng.Intn(int(node)))
+			} else {
+				target = repeated[rng.Intn(len(repeated))]
+			}
+			if target == node || chosen[target] {
+				continue
+			}
+			chosen[target] = true
+		}
+		// Map iteration order is random; sort targets so construction is
+		// deterministic for a given seed.
+		targets := make([]NodeID, 0, len(chosen))
+		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sortNodeIDs(targets)
+		for _, t := range targets {
+			g.MustAddLink(node, t, DefaultCapacity, DefaultDelay)
+			repeated = append(repeated, node, t)
+		}
+	}
+	return g
+}
+
+// Waxman returns a Waxman random graph: nodes are placed uniformly in the
+// unit square and each pair is linked with probability
+// alpha·exp(−d/(beta·L)) where d is their Euclidean distance and L the
+// maximum possible distance.
+func Waxman(n int, alpha, beta float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New("waxman")
+	g.AddNodes(n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	maxDist := math.Sqrt2
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+			if rng.Float64() < alpha*math.Exp(-d/(beta*maxDist)) {
+				g.MustAddLink(NodeID(i), NodeID(j), DefaultCapacity, DefaultDelay)
+			}
+		}
+	}
+	return g
+}
+
+// Connect adds the minimum set of links needed to make g connected: it
+// chains one representative of each connected component to the first
+// component's representative. Existing links are untouched.
+func Connect(g *Graph) {
+	comps := ConnectedComponents(g)
+	if len(comps) <= 1 {
+		return
+	}
+	anchor := comps[0][0]
+	for _, comp := range comps[1:] {
+		g.MustAddLink(anchor, comp[0], DefaultCapacity, DefaultDelay)
+	}
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

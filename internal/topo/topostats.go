@@ -1,0 +1,95 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Stats summarises the structural properties of a graph.
+type Stats struct {
+	Name        string
+	Nodes       int
+	Links       int
+	MinDegree   int
+	MaxDegree   int
+	AvgDegree   float64
+	Diameter    int // longest shortest path, in hops (-1 if disconnected)
+	Bridges     int
+	Components  int
+	MinCapacity units.BitRate
+	MaxCapacity units.BitRate
+}
+
+// ComputeStats derives Stats for g. Diameter is computed by BFS from every
+// node, which is fine at the scale of the synthetic ISP maps.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Name: g.Name(), Nodes: g.NumNodes(), Links: g.NumLinks()}
+	if s.Nodes == 0 {
+		return s
+	}
+	s.MinDegree = g.Degree(0)
+	for _, n := range g.Nodes() {
+		d := g.Degree(n.ID)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	s.AvgDegree = 2 * float64(s.Links) / float64(s.Nodes)
+	s.Components = len(ConnectedComponents(g))
+	s.Bridges = len(Bridges(g))
+	if s.Links > 0 {
+		s.MinCapacity = g.Link(0).Capacity
+		for _, l := range g.Links() {
+			if l.Capacity < s.MinCapacity {
+				s.MinCapacity = l.Capacity
+			}
+			if l.Capacity > s.MaxCapacity {
+				s.MaxCapacity = l.Capacity
+			}
+		}
+	}
+	s.Diameter = diameter(g, s.Components == 1)
+	return s
+}
+
+func diameter(g *Graph, connected bool) int {
+	if !connected {
+		return -1
+	}
+	max := 0
+	dist := make([]int, g.NumNodes())
+	queue := make([]NodeID, 0, g.NumNodes())
+	for _, start := range g.Nodes() {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, start.ID)
+		dist[start.ID] = 0
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if dist[u] > max {
+				max = dist[u]
+			}
+			for _, lid := range g.IncidentLinks(u) {
+				v := g.Link(lid).Other(u)
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return max
+}
+
+// String renders the stats as a single line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d nodes, %d links, degree %d..%d (avg %.2f), diameter %d, %d bridges",
+		s.Name, s.Nodes, s.Links, s.MinDegree, s.MaxDegree, s.AvgDegree, s.Diameter, s.Bridges)
+}

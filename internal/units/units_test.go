@@ -1,0 +1,160 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBitRateString(t *testing.T) {
+	tests := []struct {
+		rate BitRate
+		want string
+	}{
+		{0, "0bps"},
+		{500, "500bps"},
+		{2 * Kbps, "2Kbps"},
+		{2500 * Kbps, "2.5Mbps"},
+		{40 * Gbps, "40Gbps"},
+		{1.25 * Tbps, "1.25Tbps"},
+	}
+	for _, tt := range tests {
+		if got := tt.rate.String(); got != tt.want {
+			t.Errorf("BitRate(%v).String() = %q, want %q", float64(tt.rate), got, tt.want)
+		}
+	}
+}
+
+func TestParseBitRate(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    BitRate
+		wantErr bool
+	}{
+		{"10Gbps", 10 * Gbps, false},
+		{"2.5 Mbps", 2.5 * Mbps, false},
+		{"800kbps", 800 * Kbps, false},
+		{"1tbps", Tbps, false},
+		{"42", 42, false},
+		{"100 b/s", 100, false},
+		{"", 0, true},
+		{"10Xbps", 0, true},
+		{"abc", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseBitRate(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseBitRate(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && math.Abs(float64(got-tt.want)) > 1e-6 {
+			t.Errorf("ParseBitRate(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestBitRateRoundTrip(t *testing.T) {
+	f := func(mantissa uint16) bool {
+		r := BitRate(mantissa) * Mbps
+		parsed, err := ParseBitRate(r.String())
+		if err != nil {
+			return false
+		}
+		if r == 0 {
+			return parsed == 0
+		}
+		return math.Abs(float64(parsed-r))/float64(r) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	tests := []struct {
+		size ByteSize
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{10 * GB, "10GB"},
+		{1500 * Byte, "1.5KB"},
+		{2 * TB, "2TB"},
+	}
+	for _, tt := range tests {
+		if got := tt.size.String(); got != tt.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(tt.size), got, tt.want)
+		}
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    ByteSize
+		wantErr bool
+	}{
+		{"10GB", 10 * GB, false},
+		{"64KiB", 64 * KiB, false},
+		{"1.5 MB", 1500 * KB, false},
+		{"123", 123, false},
+		{"4TiB", 4 * TiB, false},
+		{"", 0, true},
+		{"1.5XB", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseByteSize(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseByteSize(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTransmissionTime(t *testing.T) {
+	// The paper's custody example: 10GB cache behind a 40Gbps link holds
+	// 2 seconds of incoming traffic.
+	got := (40 * Gbps).TransmissionTime(10 * GB)
+	if want := 2 * time.Second; got != want {
+		t.Errorf("40Gbps transmission of 10GB = %v, want %v", got, want)
+	}
+	if (BitRate(0)).TransmissionTime(GB) != time.Duration(math.MaxInt64) {
+		t.Error("zero rate should saturate, not divide by zero")
+	}
+}
+
+func TestPerAndBytesIn(t *testing.T) {
+	if got := Per(10*GB, 2*time.Second); got != 40*Gbps {
+		t.Errorf("Per(10GB, 2s) = %v, want 40Gbps", got)
+	}
+	if got := Per(GB, 0); got != 0 {
+		t.Errorf("Per with zero duration = %v, want 0", got)
+	}
+	if got := BytesIn(40*Gbps, 2*time.Second); got != 10*GB {
+		t.Errorf("BytesIn(40Gbps, 2s) = %v, want 10GB", got)
+	}
+	if got := BytesIn(0, time.Second); got != 0 {
+		t.Errorf("BytesIn(0, 1s) = %v, want 0", got)
+	}
+}
+
+func TestPerBytesInInverse(t *testing.T) {
+	f := func(mb uint16, ms uint16) bool {
+		size := ByteSize(mb) * MB
+		d := time.Duration(ms+1) * time.Millisecond
+		rate := Per(size, d)
+		back := BytesIn(rate, d)
+		diff := back - size
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1*Byte // rounding tolerance
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

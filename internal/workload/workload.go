@@ -1,0 +1,252 @@
+// Package workload generates the traffic driving the INRPP experiments:
+// Poisson flow arrivals, heavy-tailed and light-tailed flow sizes and
+// source/destination traffic matrices. Every generator takes an explicit
+// seed, so runs are reproducible and experiment sweeps can use independent
+// seed streams.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// Poisson is a Poisson arrival process: inter-arrival gaps are i.i.d.
+// exponential with the configured rate (events per second).
+type Poisson struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+// NewPoisson returns a Poisson process with the given arrival rate
+// (events/second). Rate must be positive.
+func NewPoisson(rate float64, seed int64) *Poisson {
+	if rate <= 0 {
+		panic("workload: Poisson rate must be positive")
+	}
+	return &Poisson{rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the gap to the next arrival.
+func (p *Poisson) Next() time.Duration {
+	gap := p.rng.ExpFloat64() / p.rate
+	return time.Duration(gap * float64(time.Second))
+}
+
+// Rate returns the configured arrival rate in events per second.
+func (p *Poisson) Rate() float64 { return p.rate }
+
+// SizeDist samples flow sizes.
+type SizeDist interface {
+	// Sample draws one flow size.
+	Sample() units.ByteSize
+	// Mean returns the distribution's mean size in bytes.
+	Mean() float64
+}
+
+// Constant yields a fixed size.
+type Constant units.ByteSize
+
+// Sample implements SizeDist.
+func (c Constant) Sample() units.ByteSize { return units.ByteSize(c) }
+
+// Mean implements SizeDist.
+func (c Constant) Mean() float64 { return float64(c) }
+
+// Exponential samples exponentially distributed sizes (light tail).
+type Exponential struct {
+	MeanSize units.ByteSize
+	rng      *rand.Rand
+}
+
+// NewExponential returns an exponential size distribution with the given
+// mean.
+func NewExponential(mean units.ByteSize, seed int64) *Exponential {
+	return &Exponential{MeanSize: mean, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample implements SizeDist.
+func (e *Exponential) Sample() units.ByteSize {
+	s := e.rng.ExpFloat64() * float64(e.MeanSize)
+	if s < 1 {
+		s = 1
+	}
+	return units.ByteSize(s)
+}
+
+// Mean implements SizeDist.
+func (e *Exponential) Mean() float64 { return float64(e.MeanSize) }
+
+// BoundedPareto samples from a bounded Pareto distribution — the classic
+// heavy-tailed ("mice and elephants") flow-size model.
+type BoundedPareto struct {
+	Alpha    float64
+	Lo, Hi   units.ByteSize
+	rng      *rand.Rand
+	meanSize float64
+}
+
+// NewBoundedPareto returns a bounded Pareto distribution on [lo, hi] with
+// shape alpha (alpha ≈ 1.2 is typical for Internet flow sizes).
+func NewBoundedPareto(alpha float64, lo, hi units.ByteSize, seed int64) *BoundedPareto {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		panic("workload: invalid bounded Pareto parameters")
+	}
+	b := &BoundedPareto{Alpha: alpha, Lo: lo, Hi: hi, rng: rand.New(rand.NewSource(seed))}
+	b.meanSize = boundedParetoMean(alpha, float64(lo), float64(hi))
+	return b
+}
+
+// Sample implements SizeDist via inverse-CDF sampling.
+func (b *BoundedPareto) Sample() units.ByteSize {
+	u := b.rng.Float64()
+	l, h, a := float64(b.Lo), float64(b.Hi), b.Alpha
+	// Inverse CDF of the bounded Pareto.
+	x := math.Pow(-(u*math.Pow(h, a)-u*math.Pow(l, a)-math.Pow(h, a))/(math.Pow(h, a)*math.Pow(l, a)), -1/a)
+	if x < l {
+		x = l
+	}
+	if x > h {
+		x = h
+	}
+	return units.ByteSize(x)
+}
+
+// Mean implements SizeDist.
+func (b *BoundedPareto) Mean() float64 { return b.meanSize }
+
+func boundedParetoMean(a, l, h float64) float64 {
+	if a == 1 {
+		return (h * l / (h - l)) * math.Log(h/l)
+	}
+	return math.Pow(l, a) / (1 - math.Pow(l/h, a)) * a / (a - 1) *
+		(1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+// Matrix picks source/destination node pairs for flows.
+type Matrix interface {
+	// Pick draws one (src, dst) pair with src ≠ dst.
+	Pick() (src, dst topo.NodeID)
+}
+
+// Uniform picks src and dst uniformly among all ordered node pairs.
+type Uniform struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform matrix over g's nodes. The graph must have
+// at least two nodes.
+func NewUniform(g *topo.Graph, seed int64) *Uniform {
+	if g.NumNodes() < 2 {
+		panic("workload: uniform matrix needs ≥ 2 nodes")
+	}
+	return &Uniform{n: g.NumNodes(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Matrix.
+func (u *Uniform) Pick() (topo.NodeID, topo.NodeID) {
+	src := topo.NodeID(u.rng.Intn(u.n))
+	dst := topo.NodeID(u.rng.Intn(u.n - 1))
+	if dst >= src {
+		dst++
+	}
+	return src, dst
+}
+
+// Gravity picks endpoints with probability proportional to node degree,
+// concentrating traffic on well-connected nodes the way inter-PoP matrices
+// do.
+type Gravity struct {
+	cum []float64 // cumulative degree weights
+	rng *rand.Rand
+}
+
+// NewGravity returns a degree-weighted gravity matrix over g's nodes.
+func NewGravity(g *topo.Graph, seed int64) *Gravity {
+	if g.NumNodes() < 2 {
+		panic("workload: gravity matrix needs ≥ 2 nodes")
+	}
+	cum := make([]float64, g.NumNodes())
+	total := 0.0
+	for i, n := range g.Nodes() {
+		w := float64(g.Degree(n.ID)) + 1 // +1 keeps isolated nodes pickable
+		total += w
+		cum[i] = total
+	}
+	return &Gravity{cum: cum, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Matrix.
+func (gr *Gravity) Pick() (topo.NodeID, topo.NodeID) {
+	src := gr.pickOne()
+	dst := gr.pickOne()
+	for dst == src {
+		dst = gr.pickOne()
+	}
+	return src, dst
+}
+
+func (gr *Gravity) pickOne() topo.NodeID {
+	total := gr.cum[len(gr.cum)-1]
+	x := gr.rng.Float64() * total
+	lo, hi := 0, len(gr.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if gr.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return topo.NodeID(lo)
+}
+
+// Flow is one generated transfer: who, how much, when.
+type Flow struct {
+	ID      int
+	Src     topo.NodeID
+	Dst     topo.NodeID
+	Size    units.ByteSize
+	Arrival time.Duration
+}
+
+// Spec configures a flow trace generation.
+type Spec struct {
+	Arrivals *Poisson
+	Sizes    SizeDist
+	Matrix   Matrix
+	Count    int
+}
+
+// Generate produces Count flows with Poisson arrivals, sampled sizes and
+// sampled endpoints, in arrival order.
+func Generate(spec Spec) []Flow {
+	flows := make([]Flow, 0, spec.Count)
+	var now time.Duration
+	for i := 0; i < spec.Count; i++ {
+		now += spec.Arrivals.Next()
+		src, dst := spec.Matrix.Pick()
+		flows = append(flows, Flow{
+			ID:      i,
+			Src:     src,
+			Dst:     dst,
+			Size:    spec.Sizes.Sample(),
+			Arrival: now,
+		})
+	}
+	return flows
+}
+
+// SplitSeed derives the i-th independent sub-seed from a master seed, so
+// one experiment seed can drive several independent RNG streams.
+func SplitSeed(master int64, i int) int64 {
+	x := uint64(master) + uint64(i)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x & 0x7fffffffffffffff)
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+func TestPoissonMeanGap(t *testing.T) {
+	p := NewPoisson(100, 42) // 100 events/s → mean gap 10ms
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += p.Next()
+	}
+	meanMS := total.Seconds() * 1000 / n
+	if math.Abs(meanMS-10) > 0.5 {
+		t.Errorf("mean gap = %.3fms, want ≈10ms", meanMS)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, b := NewPoisson(10, 7), NewPoisson(10, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give same arrivals")
+		}
+	}
+}
+
+func TestPoissonPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for rate 0")
+		}
+	}()
+	NewPoisson(0, 1)
+}
+
+func TestConstantSize(t *testing.T) {
+	c := Constant(5 * units.MB)
+	if c.Sample() != 5*units.MB || c.Mean() != float64(5*units.MB) {
+		t.Error("constant distribution wrong")
+	}
+}
+
+func TestExponentialSize(t *testing.T) {
+	e := NewExponential(units.MB, 3)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s := e.Sample()
+		if s < 1 {
+			t.Fatal("size below 1 byte")
+		}
+		sum += float64(s)
+	}
+	mean := sum / n
+	if math.Abs(mean-float64(units.MB))/float64(units.MB) > 0.03 {
+		t.Errorf("empirical mean = %.0f, want ≈%d", mean, units.MB)
+	}
+}
+
+func TestBoundedParetoBounds(t *testing.T) {
+	b := NewBoundedPareto(1.2, 10*units.KB, 100*units.MB, 5)
+	for i := 0; i < 10000; i++ {
+		s := b.Sample()
+		if s < 10*units.KB || s > 100*units.MB {
+			t.Fatalf("sample %v outside bounds", s)
+		}
+	}
+}
+
+func TestBoundedParetoMean(t *testing.T) {
+	b := NewBoundedPareto(1.5, 1000, 1000000, 11)
+	var sum float64
+	const n = 300000
+	for i := 0; i < n; i++ {
+		sum += float64(b.Sample())
+	}
+	empirical := sum / n
+	if math.Abs(empirical-b.Mean())/b.Mean() > 0.05 {
+		t.Errorf("empirical mean %.0f vs analytic %.0f", empirical, b.Mean())
+	}
+}
+
+func TestBoundedParetoHeavyTail(t *testing.T) {
+	// With alpha ≈ 1.2 most flows are mice but elephants dominate bytes.
+	b := NewBoundedPareto(1.2, 10*units.KB, 100*units.MB, 9)
+	var small, totalBytes, smallBytes float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s := float64(b.Sample())
+		totalBytes += s
+		if s < 100*1000 { // < 100KB
+			small++
+			smallBytes += s
+		}
+	}
+	if small/n < 0.7 {
+		t.Errorf("mice fraction = %.2f, want > 0.7", small/n)
+	}
+	if smallBytes/totalBytes > 0.5 {
+		t.Errorf("mice carry %.2f of bytes, want < 0.5", smallBytes/totalBytes)
+	}
+}
+
+func TestUniformMatrix(t *testing.T) {
+	g := topo.Ring(10)
+	u := NewUniform(g, 13)
+	counts := map[topo.NodeID]int{}
+	for i := 0; i < 10000; i++ {
+		src, dst := u.Pick()
+		if src == dst {
+			t.Fatal("src == dst")
+		}
+		counts[src]++
+	}
+	for n, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("node %d picked %d times, want ≈1000", n, c)
+		}
+	}
+}
+
+func TestGravityMatrixPrefersHubs(t *testing.T) {
+	g := topo.Star(8) // hub degree 8, leaves degree 1
+	gr := NewGravity(g, 17)
+	hub := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		src, dst := gr.Pick()
+		if src == dst {
+			t.Fatal("src == dst")
+		}
+		if src == 0 {
+			hub++
+		}
+	}
+	// Hub weight 9 of total 9+8·2 = 25 → ≈36%.
+	frac := float64(hub) / n
+	if frac < 0.30 || frac > 0.43 {
+		t.Errorf("hub picked as src %.2f of the time, want ≈0.36", frac)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	g := topo.Ring(6)
+	flows := Generate(Spec{
+		Arrivals: NewPoisson(50, 1),
+		Sizes:    Constant(units.MB),
+		Matrix:   NewUniform(g, 2),
+		Count:    100,
+	})
+	if len(flows) != 100 {
+		t.Fatalf("generated %d flows, want 100", len(flows))
+	}
+	var prev time.Duration
+	for i, f := range flows {
+		if f.ID != i {
+			t.Errorf("flow %d has ID %d", i, f.ID)
+		}
+		if f.Arrival < prev {
+			t.Error("arrivals not monotonic")
+		}
+		prev = f.Arrival
+		if f.Src == f.Dst {
+			t.Error("flow with src == dst")
+		}
+		if f.Size != units.MB {
+			t.Error("size wrong")
+		}
+	}
+}
+
+func TestSplitSeed(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := SplitSeed(42, i)
+		if s < 0 {
+			t.Fatal("seed must be non-negative for rand.NewSource use")
+		}
+		if seen[s] {
+			t.Fatal("seed collision")
+		}
+		seen[s] = true
+	}
+	if SplitSeed(42, 1) == SplitSeed(43, 1) {
+		t.Error("different masters should give different streams")
+	}
+}

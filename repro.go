@@ -1,0 +1,111 @@
+// Package repro is a from-scratch Go reproduction of "Revisiting Resource
+// Pooling: The Case for In-Network Resource Sharing" (Psaras, Saino,
+// Pavlou — ACM HotNets-XIII, 2014): the In-Network Resource Pooling
+// Principle (INRPP), its substrates, and every experiment in the paper.
+//
+// This root package is a thin facade over the implementation packages:
+//
+//   - internal/core     — the INRPP protocol logic (phases, eq. 1
+//     estimator, detour planner, back-pressure, processor sharing);
+//   - internal/topo     — graphs, generators and the nine calibrated
+//     synthetic ISP topologies of Table 1;
+//   - internal/route    — shortest paths, ECMP, k-shortest, detour
+//     classification;
+//   - internal/flowsim  — the flow-level simulator behind Figure 4;
+//   - internal/chunknet — the chunk-level INRPP/AIMD simulator behind the
+//     custody experiment;
+//   - internal/experiments — one harness per paper artifact.
+//
+// See examples/ for runnable walkthroughs and cmd/experiments for the
+// paper-vs-measured tables.
+package repro
+
+import (
+	"repro/internal/chunknet"
+	"repro/internal/experiments"
+	"repro/internal/flowsim"
+	"repro/internal/route"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// Re-exported primary types. The aliases make the public API usable from
+// a single import.
+type (
+	// Graph is an undirected capacitated topology.
+	Graph = topo.Graph
+	// ISP names one of the paper's nine Table 1 topologies.
+	ISP = topo.ISP
+	// BitRate is bits per second.
+	BitRate = units.BitRate
+	// ByteSize is an amount of data in bytes.
+	ByteSize = units.ByteSize
+	// FlowPolicy selects SP, ECMP or INRP in the flow-level simulator.
+	FlowPolicy = flowsim.Policy
+	// FlowConfig configures a flow-level run.
+	FlowConfig = flowsim.Config
+	// FlowResult is a flow-level run's outcome.
+	FlowResult = flowsim.Result
+	// ChunkConfig configures a chunk-level run.
+	ChunkConfig = chunknet.Config
+	// ChunkTransfer is one chunk-level content transfer.
+	ChunkTransfer = chunknet.Transfer
+	// ChunkReport is a chunk-level run's outcome.
+	ChunkReport = chunknet.Report
+	// DetourProfile is a topology's Table 1 row.
+	DetourProfile = route.Profile
+)
+
+// Common rate and size constants.
+const (
+	Kbps = units.Kbps
+	Mbps = units.Mbps
+	Gbps = units.Gbps
+	KB   = units.KB
+	MB   = units.MB
+	GB   = units.GB
+)
+
+// Flow-level policies (Figure 4 legend).
+const (
+	SP   = flowsim.SP
+	ECMP = flowsim.ECMP
+	INRP = flowsim.INRP
+)
+
+// Chunk-level transports.
+const (
+	INRPP = chunknet.INRPP
+	AIMD  = chunknet.AIMD
+)
+
+// ISPs lists the nine Table 1 topologies.
+func ISPs() []ISP { return topo.ISPs() }
+
+// BuildISP synthesizes the named ISP's calibrated topology.
+func BuildISP(isp ISP) (*Graph, error) { return topo.BuildISP(isp) }
+
+// Fig3Topology returns the paper's Figure 3 example topology.
+func Fig3Topology() *Graph { return topo.Fig3() }
+
+// AnalyzeDetours classifies every link of g by its shortest alternative
+// path — one row of Table 1.
+func AnalyzeDetours(g *Graph) DetourProfile { return route.Analyze(g) }
+
+// RunFlows executes a flow-level simulation (Figure 4 machinery).
+func RunFlows(cfg FlowConfig) (*FlowResult, error) { return flowsim.Run(cfg) }
+
+// NewChunkSim builds a chunk-level INRPP/AIMD simulation.
+func NewChunkSim(cfg ChunkConfig) (*chunknet.Sim, error) { return chunknet.New(cfg) }
+
+// Experiment entry points, re-exported from internal/experiments.
+var (
+	// Table1 regenerates the paper's Table 1.
+	Table1 = experiments.Table1
+	// Fig4 regenerates Figures 4a and 4b.
+	Fig4 = experiments.Fig4
+	// Fig3Fairness regenerates the Figure 3 fairness example.
+	Fig3Fairness = experiments.Fig3
+	// Custody regenerates the §3.3 custody/back-pressure experiment.
+	Custody = experiments.Custody
+)

@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestFacade exercises the public API end to end: topology, detour
+// analysis, flow simulation and chunk simulation through the root
+// package only.
+func TestFacade(t *testing.T) {
+	if len(ISPs()) != 9 {
+		t.Fatalf("ISPs = %d, want 9", len(ISPs()))
+	}
+	g, err := BuildISP("VSNL (IN)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := AnalyzeDetours(g)
+	if prof.Total != g.NumLinks() {
+		t.Errorf("profile total %d != links %d", prof.Total, g.NumLinks())
+	}
+
+	fig3 := Fig3Topology()
+	flows := workload.Generate(workload.Spec{
+		Arrivals: workload.NewPoisson(100, 1),
+		Sizes:    workload.Constant(MB),
+		Matrix:   workload.NewUniform(fig3, 2),
+		Count:    10,
+	})
+	res, err := RunFlows(FlowConfig{Graph: fig3, Policy: INRP, Flows: flows, Horizon: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Error("facade flow run moved no bytes")
+	}
+
+	sim, err := NewChunkSim(ChunkConfig{Graph: Fig3Topology(), Transport: INRPP, ChunkSize: 10 * KB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddTransfer(ChunkTransfer{ID: 1, Src: 0, Dst: 4, Chunks: 50}); err != nil {
+		t.Fatal(err)
+	}
+	rep := sim.Run(5 * time.Second)
+	if rep.DeliveredPerFlow[1] != 50 {
+		t.Errorf("facade chunk run delivered %d/50", rep.DeliveredPerFlow[1])
+	}
+}
+
+// TestExperimentEntryPoints checks the re-exported experiment functions.
+func TestExperimentEntryPoints(t *testing.T) {
+	rows, err := Table1()
+	if err != nil || len(rows) != 9 {
+		t.Fatalf("Table1: %v rows, err %v", len(rows), err)
+	}
+	r, err := Fig3Fairness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.INRPJain != 1 {
+		t.Errorf("Fig3 INRP Jain = %v, want 1", r.INRPJain)
+	}
+}
