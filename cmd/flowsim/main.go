@@ -16,9 +16,9 @@ import (
 
 	"repro/internal/flowsim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/internal/units"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -28,7 +28,7 @@ func main() {
 	demandStr := flag.String("demand", "300Mbps", "per-flow rate demand (0 = elastic)")
 	capStr := flag.String("capacity", "450Mbps", "uniform link capacity override (0 = keep built-in)")
 	meanSizeStr := flag.String("size", "150MB", "mean flow size (bounded Pareto)")
-	rate := flag.Float64("lambda", 40, "flow arrival rate (flows/s)")
+	rate := flag.Float64("lambda", 40, "flow arrival rate (flows/s; 0 = flows/4)")
 	horizon := flag.Duration("horizon", 10*time.Second, "virtual time horizon (0 = run to completion)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
@@ -45,10 +45,6 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policyName))
 	}
 
-	g, err := topo.BuildISP(topo.ISP(*ispName))
-	if err != nil {
-		fatal(fmt.Errorf("%w (known: %v)", err, topo.ISPs()))
-	}
 	demand, err := units.ParseBitRate(*demandStr)
 	if err != nil {
 		fatal(err)
@@ -61,21 +57,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if capacity > 0 {
-		g.SetAllCapacities(capacity)
+
+	// The topology + workload recipe is the shared sweep scenario spec, so
+	// a one-off flowsim run is the same scenario a grid sweep would run.
+	spec := sweep.FlowSpec{
+		ISP:       topo.ISP(*ispName),
+		Capacity:  capacity,
+		Policy:    policy,
+		Flows:     *nFlows,
+		Lambda:    *rate,
+		MeanSize:  meanSize,
+		DemandCap: demand,
+		Horizon:   *horizon,
 	}
-
-	flows := workload.Generate(workload.Spec{
-		Arrivals: workload.NewPoisson(*rate, workload.SplitSeed(*seed, 0)),
-		Sizes:    workload.NewBoundedPareto(1.5, meanSize/20, meanSize*8, workload.SplitSeed(*seed, 1)),
-		Matrix:   workload.NewGravity(g, workload.SplitSeed(*seed, 2)),
-		Count:    *nFlows,
-	})
-
+	g, err := spec.Graph()
+	if err != nil {
+		fatal(fmt.Errorf("%w (known: %v)", err, topo.ISPs()))
+	}
 	res, err := flowsim.Run(flowsim.Config{
 		Graph:     g,
 		Policy:    policy,
-		Flows:     flows,
+		Flows:     spec.Workload(g, *seed),
 		Horizon:   *horizon,
 		DemandCap: demand,
 	})

@@ -1,0 +1,158 @@
+// Command sweep runs parameter-grid scenario sweeps on the sweep engine:
+// it expands topology × policy × load × replica grids into flow-level
+// scenarios, executes them on all cores with deterministic per-scenario
+// seeding, and prints aggregated mean±std summaries.
+//
+// Usage:
+//
+//	sweep -isps "Tiscali (EU),Exodus (US)" -policies sp,ecmp,inrp \
+//	      -flows 60,120,240 -replicas 3 -seed 1 -workers 0 \
+//	      -capacity 450Mbps -demand 300Mbps -size 150MB -horizon 8s \
+//	      -format table|csv|json [-metrics demand_satisfied,jain] [-q]
+//
+// The workload seed at each grid point is derived from the point minus the
+// policy axis, so every policy is measured on identical flows; output is
+// byte-identical for the same grid and seed at any -workers value.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+func main() {
+	ispList := flag.String("isps", string(topo.Tiscali), "comma-separated ISP topologies")
+	policyList := flag.String("policies", "sp,inrp", "comma-separated policies: sp|ecmp|inrp")
+	flowsList := flag.String("flows", "60,120,180,240,300", "comma-separated flow counts (offered-load axis)")
+	replicas := flag.Int("replicas", 3, "seed replicas per grid point")
+	seed := flag.Int64("seed", 1, "master sweep seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	capStr := flag.String("capacity", "450Mbps", "uniform link capacity override (0 = keep built-in)")
+	demandStr := flag.String("demand", "300Mbps", "per-flow rate demand (0 = elastic)")
+	sizeStr := flag.String("size", "150MB", "mean flow size (bounded Pareto)")
+	lambda := flag.Float64("lambda", 0, "flow arrival rate (flows/s; 0 = flows/4)")
+	horizon := flag.Duration("horizon", 8*time.Second, "virtual time horizon per scenario")
+	format := flag.String("format", "table", "output format: table|csv|json")
+	metricsList := flag.String("metrics", "", "comma-separated metric subset (default: all)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	capacity, err := units.ParseBitRate(*capStr)
+	if err != nil {
+		fatal(err)
+	}
+	demand, err := units.ParseBitRate(*demandStr)
+	if err != nil {
+		fatal(err)
+	}
+	meanSize, err := units.ParseByteSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	isps := split(*ispList)
+	for _, isp := range isps {
+		if _, err := topo.BuildISP(topo.ISP(isp)); err != nil {
+			fatal(fmt.Errorf("%w (known: %v)", err, topo.ISPs()))
+		}
+	}
+	pols := split(*policyList)
+	for _, p := range pols {
+		if _, err := sweep.ParsePolicy(p); err != nil {
+			fatal(err)
+		}
+	}
+	for _, f := range split(*flowsList) {
+		if _, err := strconv.Atoi(f); err != nil {
+			fatal(fmt.Errorf("bad -flows entry %q", f))
+		}
+	}
+
+	// SeedAxes pairs workloads across the policy axis: every policy sees
+	// the same flows at the same (isp, flows, replica).
+	grid := sweep.NewGrid().
+		Axis("isp", isps...).
+		Axis("flows", split(*flowsList)...).
+		Axis("policy", pols...).
+		SeedAxes("isp", "flows")
+	scenarios := grid.Expand(*seed, *replicas,
+		func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
+			n, _ := strconv.Atoi(pt.Get("flows"))
+			spec := sweep.FlowSpec{
+				ISP:       topo.ISP(pt.Get("isp")),
+				Capacity:  capacity,
+				Policy:    sweep.MustParsePolicy(pt.Get("policy")),
+				Flows:     n,
+				Lambda:    *lambda,
+				MeanSize:  meanSize,
+				DemandCap: demand,
+				Horizon:   *horizon,
+			}
+			return spec.Run(seed)
+		})
+
+	runner := &sweep.Runner{Workers: *workers}
+	if !*quiet {
+		runner.Progress = func(done, total int, r sweep.Result) {
+			status := "ok"
+			if r.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s, %v)\n", done, total, r.Name, status, r.Elapsed.Round(time.Millisecond))
+		}
+	}
+	results := runner.Run(context.Background(), scenarios)
+	for _, i := range sweep.Errored(results) {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", results[i].Err)
+	}
+
+	aggs := sweep.Aggregated(results)
+	metrics := split(*metricsList)
+	switch *format {
+	case "table":
+		title := fmt.Sprintf("Scenario sweep — %d scenarios, %d points, seed %d",
+			len(scenarios), grid.Size(), *seed)
+		if err := sweep.Table(title, aggs, metrics...).Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "csv":
+		if err := sweep.CSV(os.Stdout, aggs, metrics...); err != nil {
+			fatal(err)
+		}
+	case "json":
+		if err := sweep.JSON(os.Stdout, aggs); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q (known: table, csv, json)", *format))
+	}
+	if n := len(sweep.Errored(results)); n > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios failed\n", n, len(results))
+		os.Exit(1)
+	}
+}
+
+// split parses a comma-separated list, trimming blanks.
+func split(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

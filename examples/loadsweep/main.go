@@ -2,57 +2,74 @@
 // load on the Tiscali topology and prints SP vs INRP network throughput
 // at each point. At low load both carry everything; past saturation the
 // pooled detours keep INRP ahead until the whole neighbourhood is full.
+//
+// The sweep runs on the scenario-sweep engine: the load × policy grid
+// expands into scenarios with paired workload seeds (both policies see the
+// same flows at each replica), executes on all cores, and aggregates
+// replica means — the old hand-rolled serial loop, minus the hand-rolling.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"repro"
-	"repro/internal/workload"
 )
 
 func main() {
-	fmt.Printf("%-8s %-8s %-8s %-8s\n", "flows", "SP", "INRP", "gain")
-	for _, n := range []int{60, 120, 180, 240, 300} {
-		sp, err := run(repro.SP, n)
-		if err != nil {
-			log.Fatal(err)
-		}
-		inrp, err := run(repro.INRP, n)
-		if err != nil {
-			log.Fatal(err)
-		}
-		gain := 0.0
-		if sp > 0 {
-			gain = inrp/sp - 1
-		}
-		fmt.Printf("%-8d %-8.3f %-8.3f %+.1f%%\n", n, sp, inrp, 100*gain)
-	}
-}
+	const (
+		masterSeed = 1
+		replicas   = 3
+	)
+	loads := []string{"60", "120", "180", "240", "300"}
+	// SeedAxes("flows") pairs the workload seed across the policy axis:
+	// SP and INRP are compared on identical flows at each replica.
+	grid := repro.NewSweepGrid().
+		Axis("flows", loads...).
+		Axis("policy", "SP", "INRP").
+		SeedAxes("flows")
+	scenarios := grid.Expand(masterSeed, replicas,
+		func(pt repro.SweepPoint, replica int, seed int64) repro.SweepRunFunc {
+			spec := repro.FlowSweepSpec{
+				ISP:       "Tiscali (EU)",
+				Capacity:  450 * repro.Mbps,
+				MeanSize:  150 * repro.MB,
+				DemandCap: 300 * repro.Mbps,
+				Horizon:   8 * time.Second,
+			}
+			fmt.Sscanf(pt.Get("flows"), "%d", &spec.Flows)
+			spec.Policy = repro.MustParseFlowPolicy(pt.Get("policy"))
+			return spec.Run(seed)
+		})
 
-func run(policy repro.FlowPolicy, n int) (float64, error) {
-	g, err := repro.BuildISP("Tiscali (EU)")
-	if err != nil {
-		return 0, err
+	results := repro.RunSweep(context.Background(), 0, scenarios)
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
 	}
-	g.SetAllCapacities(450 * repro.Mbps)
-	flows := workload.Generate(workload.Spec{
-		Arrivals: workload.NewPoisson(float64(n)/4, 1),
-		Sizes:    workload.NewBoundedPareto(1.5, 10*repro.MB, 1200*repro.MB, 2),
-		Matrix:   workload.NewGravity(g, 3),
-		Count:    n,
-	})
-	res, err := repro.RunFlows(repro.FlowConfig{
-		Graph:     g,
-		Policy:    policy,
-		Flows:     flows,
-		Horizon:   8 * time.Second,
-		DemandCap: 300 * repro.Mbps,
-	})
-	if err != nil {
-		return 0, err
+	aggs := repro.AggregateSweep(results)
+	find := func(flows, policy string) *repro.SweepAggregate {
+		for i := range aggs {
+			if aggs[i].Point.Get("flows") == flows && aggs[i].Point.Get("policy") == policy {
+				return &aggs[i]
+			}
+		}
+		log.Fatalf("no aggregate for flows=%s policy=%s", flows, policy)
+		return nil
 	}
-	return res.DemandSatisfied, nil
+
+	fmt.Printf("%-8s %-14s %-14s %-8s\n", "flows", "SP", "INRP", "gain")
+	for _, f := range loads {
+		sp := find(f, "SP").Summary("demand_satisfied")
+		inrp := find(f, "INRP").Summary("demand_satisfied")
+		gain := 0.0
+		if sp.Mean() > 0 {
+			gain = inrp.Mean()/sp.Mean() - 1
+		}
+		fmt.Printf("%-8s %.3f ±%.3f   %.3f ±%.3f   %+.1f%%\n",
+			f, sp.Mean(), sp.Std(), inrp.Mean(), inrp.Std(), 100*gain)
+	}
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/flowsim"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -47,6 +49,9 @@ type Fig4Config struct {
 	// edges, so contention — and pooling opportunity — sits in the core;
 	// uniform capacities reproduce that regime.
 	UniformCapacity units.BitRate
+	// Workers bounds the scenario parallelism of the sweep (default
+	// runtime.GOMAXPROCS). Results are identical at any worker count.
+	Workers int
 }
 
 // DefaultFig4Config returns the configuration used for EXPERIMENTS.md.
@@ -101,56 +106,78 @@ type Fig4TopoResult struct {
 }
 
 // Fig4 runs the flow-level evaluation of the paper's Figure 4: Poisson
-// flow arrivals on the three ISP topologies under SP, ECMP and INRP.
+// flow arrivals on the three ISP topologies under SP, ECMP and INRP. The
+// ISP × policy × seed grid executes on the sweep engine's worker pool; the
+// workload seed is shared across the policy axis so every policy is
+// measured on the same flows at each replica.
 func Fig4(cfg Fig4Config) ([]Fig4TopoResult, error) {
 	cfg.applyDefaults()
-	var out []Fig4TopoResult
+	specs := make(map[topo.ISP]sweep.FlowSpec, len(cfg.ISPs))
 	for _, isp := range cfg.ISPs {
-		g, err := topo.BuildISP(isp)
+		spec, err := fig4Spec(isp, cfg)
 		if err != nil {
 			return nil, err
 		}
-		g.SetAllCapacities(cfg.UniformCapacity)
-		res := Fig4TopoResult{ISP: isp, Throughput: map[flowsim.Policy]float64{}}
-		sums := map[flowsim.Policy]float64{}
-		jainSum := 0.0
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			flows := fig4Workload(g, cfg, int64(seed)+1)
-			for _, pol := range []flowsim.Policy{flowsim.SP, flowsim.ECMP, flowsim.INRP} {
-				r, err := flowsim.Run(flowsim.Config{
-					Graph:     g,
-					Policy:    pol,
-					Flows:     flows,
-					Horizon:   cfg.Horizon,
-					DemandCap: cfg.DemandCap,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("fig4 %s %s: %w", isp, pol, err)
-				}
-				sums[pol] += r.DemandSatisfied
-				if pol == flowsim.INRP {
-					res.Stretch = append(res.Stretch, r.Stretch...)
-					jainSum += r.Jain
-				}
-			}
+		specs[isp] = spec
+	}
+
+	isps := make([]string, len(cfg.ISPs))
+	for i, isp := range cfg.ISPs {
+		isps[i] = string(isp)
+	}
+	grid := sweep.NewGrid().
+		Axis("isp", isps...).
+		Axis("policy", "SP", "ECMP", "INRP").
+		SeedAxes("isp") // pair the workload across the policy axis
+	scenarios := grid.Expand(0, cfg.Seeds, func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
+		spec := specs[topo.ISP(pt.Get("isp"))]
+		spec.Policy = sweep.MustParsePolicy(pt.Get("policy"))
+		return spec.Run(seed)
+	})
+
+	runner := &sweep.Runner{Workers: cfg.Workers}
+	results := runner.Run(context.Background(), scenarios)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("fig4 %w", r.Err)
 		}
-		for pol, s := range sums {
-			res.Throughput[pol] = s / float64(cfg.Seeds)
+	}
+
+	byISP := map[topo.ISP]*Fig4TopoResult{}
+	var out []Fig4TopoResult
+	for _, isp := range cfg.ISPs {
+		out = append(out, Fig4TopoResult{ISP: isp, Throughput: map[flowsim.Policy]float64{}})
+	}
+	for i := range out {
+		byISP[out[i].ISP] = &out[i]
+	}
+	for _, a := range sweep.Aggregated(results) {
+		res := byISP[topo.ISP(a.Point.Get("isp"))]
+		pol := sweep.MustParsePolicy(a.Point.Get("policy"))
+		res.Throughput[pol] = a.Mean("demand_satisfied")
+		if pol == flowsim.INRP {
+			res.Stretch = a.Samples["stretch"]
+			res.Jain = a.Mean("jain")
 		}
-		res.Jain = jainSum / float64(cfg.Seeds)
-		if sp := res.Throughput[flowsim.SP]; sp > 0 {
-			res.GainOverSP = res.Throughput[flowsim.INRP]/sp - 1
+	}
+	for i := range out {
+		if sp := out[i].Throughput[flowsim.SP]; sp > 0 {
+			out[i].GainOverSP = out[i].Throughput[flowsim.INRP]/sp - 1
 		}
-		out = append(out, res)
 	}
 	return out, nil
 }
 
-// fig4Workload builds one seeded Poisson workload: arrival rate chosen so
-// the steady-state active population is ≈ TargetActive (Little's law with
-// the full-demand lifetime; congestion stretches lifetimes, raising the
-// effective load — which is the regime the experiment wants).
-func fig4Workload(g *topo.Graph, cfg Fig4Config, seed int64) []workload.Flow {
+// fig4Spec turns the Fig. 4 config into one topology's sweep.FlowSpec:
+// arrival rate chosen so the steady-state active population is ≈
+// TargetActive (Little's law with the full-demand lifetime; congestion
+// stretches lifetimes, raising the effective load — which is the regime
+// the experiment wants).
+func fig4Spec(isp topo.ISP, cfg Fig4Config) (sweep.FlowSpec, error) {
+	g, err := topo.BuildISP(isp)
+	if err != nil {
+		return sweep.FlowSpec{}, err
+	}
 	target := cfg.TargetActive
 	if target == 0 {
 		// Offered demand = LoadRatio × aggregate one-direction capacity.
@@ -165,17 +192,19 @@ func fig4Workload(g *topo.Graph, cfg Fig4Config, seed int64) []workload.Flow {
 	if count < 1 {
 		count = 1
 	}
-	sizes := workload.NewBoundedPareto(1.5,
-		cfg.MeanFlowSize/20, cfg.MeanFlowSize*8, workload.SplitSeed(seed, 1))
 	// Rescale arrivals so the offered byte rate matches the target even
 	// though the bounded Pareto's mean differs from MeanFlowSize.
-	lambda *= float64(cfg.MeanFlowSize) / sizes.Mean()
-	return workload.Generate(workload.Spec{
-		Arrivals: workload.NewPoisson(lambda, workload.SplitSeed(seed, 0)),
-		Sizes:    sizes,
-		Matrix:   workload.NewGravity(g, workload.SplitSeed(seed, 2)),
-		Count:    count,
-	})
+	lambda *= float64(cfg.MeanFlowSize) /
+		workload.NewBoundedPareto(1.5, cfg.MeanFlowSize/20, cfg.MeanFlowSize*8, 0).Mean()
+	return sweep.FlowSpec{
+		ISP:       isp,
+		Capacity:  cfg.UniformCapacity,
+		Flows:     count,
+		Lambda:    lambda,
+		MeanSize:  cfg.MeanFlowSize,
+		DemandCap: cfg.DemandCap,
+		Horizon:   cfg.Horizon,
+	}, nil
 }
 
 // Fig4aReport renders the Figure 4a bars, paper vs measured.

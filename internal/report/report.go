@@ -26,8 +26,9 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
 
-// Render writes the table as aligned text.
-func (t *Table) Render(w io.Writer) error {
+// columnWidths returns the rune width of every column, covering rows wider
+// than the header: extra columns are sized from their cells like any other.
+func (t *Table) columnWidths() []int {
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
 		widths[i] = len([]rune(h))
@@ -42,28 +43,39 @@ func (t *Table) Render(w io.Writer) error {
 			}
 		}
 	}
+	return widths
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := t.columnWidths()
 	var b strings.Builder
 	if t.Title != "" {
 		fmt.Fprintf(&b, "%s\n", t.Title)
 	}
 	writeRow := func(cells []string) {
+		var line strings.Builder
 		for i := 0; i < len(widths); i++ {
 			cell := ""
 			if i < len(cells) {
 				cell = cells[i]
 			}
 			if i > 0 {
-				b.WriteString("  ")
+				line.WriteString("  ")
 			}
-			b.WriteString(cell)
-			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+			line.WriteString(cell)
+			line.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
 		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
 		b.WriteString("\n")
 	}
 	writeRow(t.Headers)
-	total := len(widths)*2 - 2
-	for _, w := range widths {
-		total += w
+	total := 0
+	if len(widths) > 0 {
+		total = len(widths)*2 - 2
+		for _, w := range widths {
+			total += w
+		}
 	}
 	b.WriteString(strings.Repeat("-", total))
 	b.WriteString("\n")
@@ -74,16 +86,30 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
-// RenderCSV writes the table as CSV (headers first, no title).
+// RenderCSV writes the table as CSV (headers first, no title). Every
+// record is padded to the widest row, so rows wider than the header keep
+// their extra cells instead of being truncated.
 func (t *Table) RenderCSV(w io.Writer) error {
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(t.Headers); err != nil {
+	pad := func(cells []string) []string {
+		if len(cells) == cols {
+			return cells
+		}
+		padded := make([]string, cols)
+		copy(padded, cells)
+		return padded
+	}
+	if err := cw.Write(pad(t.Headers)); err != nil {
 		return err
 	}
 	for _, row := range t.Rows {
-		padded := make([]string, len(t.Headers))
-		copy(padded, row)
-		if err := cw.Write(padded); err != nil {
+		if err := cw.Write(pad(row)); err != nil {
 			return err
 		}
 	}

@@ -44,6 +44,48 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+// TestTableRaggedRows is the regression test for rows wider than the
+// header: extra columns must get real widths (aligned across rows) in text
+// output and must survive — not be truncated — in CSV output.
+func TestTableRaggedRows(t *testing.T) {
+	tbl := New("ragged", "a", "b")
+	tbl.AddRow("1", "2", "extra-wide-cell", "x")
+	tbl.AddRow("longer", "2", "e", "yy")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// The 4th column must start at the same offset in both rows.
+	if i, j := strings.Index(lines[3], "  x"), strings.Index(lines[4], "  yy"); i != j {
+		t.Errorf("extra column misaligned (%d vs %d):\n%s", i, j, out)
+	}
+	// No row may carry trailing padding.
+	for _, ln := range lines {
+		if strings.TrimRight(ln, " ") != ln {
+			t.Errorf("trailing whitespace in %q", ln)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b,,\n1,2,extra-wide-cell,x\nlonger,2,e,yy\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q (extra cells must be kept)", buf.String(), want)
+	}
+}
+
+func TestTableNoColumns(t *testing.T) {
+	// A title-only table must render (empty rule), not panic on a
+	// negative strings.Repeat count.
+	out := New("only-title").String()
+	if !strings.Contains(out, "only-title") {
+		t.Errorf("title missing: %q", out)
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	if Pct(0.5280) != "52.80%" {
 		t.Errorf("Pct = %q", Pct(0.5280))

@@ -1,0 +1,58 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// benchScenarios builds the 32-scenario flowsim sweep used to track the
+// worker-pool speedup: 2 policies × 4 load levels × 4 seed replicas on the
+// VSNL topology. The per-op metric to compare across sub-benchmarks is
+// ns/op; on a multi-core host workers=N must land ≥2× below workers=1.
+func benchScenarios() []Scenario {
+	grid := NewGrid().
+		Axis("policy", "sp", "inrp").
+		Axis("flows", "60", "120", "180", "240").
+		SeedAxes("flows")
+	return grid.Expand(1, 4, func(pt Point, replica int, seed int64) RunFunc {
+		spec := FlowSpec{
+			ISP:       topo.VSNL,
+			Capacity:  100 * units.Mbps,
+			MeanSize:  40 * units.MB,
+			DemandCap: 50 * units.Mbps,
+			Horizon:   6 * time.Second,
+		}
+		fmt.Sscanf(pt.Get("flows"), "%d", &spec.Flows)
+		spec.Policy = MustParsePolicy(pt.Get("policy"))
+		return spec.Run(seed)
+	})
+}
+
+// BenchmarkSweepWorkers times the same 32-scenario sweep at 1 worker and at
+// GOMAXPROCS workers. The aggregated output is asserted identical, so the
+// speedup never comes at the cost of determinism.
+func BenchmarkSweepWorkers(b *testing.B) {
+	scenarios := benchScenarios()
+	golden := ""
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var results []Result
+			for i := 0; i < b.N; i++ {
+				results = (&Runner{Workers: workers}).Run(context.Background(), scenarios)
+			}
+			out := Table("bench", Aggregated(results)).String()
+			if golden == "" {
+				golden = out
+			} else if out != golden {
+				b.Fatal("aggregated output changed with worker count")
+			}
+			b.ReportMetric(float64(len(scenarios)), "scenarios")
+		})
+	}
+}

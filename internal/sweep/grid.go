@@ -1,0 +1,117 @@
+package sweep
+
+import "fmt"
+
+// Grid is an ordered set of named axes whose cartesian product defines the
+// parameter points of a sweep. Axis order fixes both point identity and
+// expansion order, so a grid built the same way always expands to the same
+// scenario list.
+type Grid struct {
+	axes     []axis
+	seedAxes []string
+}
+
+type axis struct {
+	name   string
+	values []string
+}
+
+// NewGrid returns an empty grid.
+func NewGrid() *Grid { return &Grid{} }
+
+// Axis appends an axis with the given values and returns the grid for
+// chaining. Values are kept in the given order; an axis with no values
+// makes the grid empty.
+func (g *Grid) Axis(name string, values ...string) *Grid {
+	g.axes = append(g.axes, axis{name: name, values: append([]string(nil), values...)})
+	return g
+}
+
+// SeedAxes restricts seed derivation to the named axes: scenarios whose
+// points agree on those axes get the same seed at the same replica. Use it
+// to pair workloads across a comparison axis — SeedAxes("isp", "flows")
+// gives every policy identical flows at each (isp, flows, replica). By
+// default all axes contribute.
+func (g *Grid) SeedAxes(names ...string) *Grid {
+	g.seedAxes = append([]string(nil), names...)
+	return g
+}
+
+// Size returns the number of points in the grid.
+func (g *Grid) Size() int {
+	if len(g.axes) == 0 {
+		return 0
+	}
+	n := 1
+	for _, ax := range g.axes {
+		n *= len(ax.values)
+	}
+	return n
+}
+
+// Points expands the cartesian product in row-major order: the last axis
+// varies fastest, matching nested-loop reading order.
+func (g *Grid) Points() []Point {
+	if g.Size() == 0 {
+		return nil
+	}
+	points := []Point{{}}
+	for _, ax := range g.axes {
+		next := make([]Point, 0, len(points)*len(ax.values))
+		for _, pt := range points {
+			for _, v := range ax.values {
+				p := make(Point, len(pt), len(pt)+1)
+				copy(p, pt)
+				next = append(next, append(p, Param{Key: ax.name, Value: v}))
+			}
+		}
+		points = next
+	}
+	return points
+}
+
+// Expand materialises the grid into scenarios: every point × replicas
+// runs, each with a seed derived from (master, point seed key, replica) —
+// the seed key is the full point key, or its SeedAxes subset when set. The
+// build callback turns one (point, replica, seed) into the scenario's
+// RunFunc; it is called once per scenario during expansion, in
+// deterministic order. Scenario.Seed records exactly the seed handed to
+// the builder, so a Result can be reproduced from its metadata.
+func (g *Grid) Expand(master int64, replicas int, build func(pt Point, replica int, seed int64) RunFunc) []Scenario {
+	if replicas < 1 {
+		replicas = 1
+	}
+	// A typo'd SeedAxes name would silently collapse the seed key and
+	// correlate supposedly independent scenarios — fail loudly instead.
+	for _, name := range g.seedAxes {
+		found := false
+		for _, ax := range g.axes {
+			if ax.name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("sweep: SeedAxes(%q) does not name a grid axis", name))
+		}
+	}
+	points := g.Points()
+	scenarios := make([]Scenario, 0, len(points)*replicas)
+	for _, pt := range points {
+		seedKey := pt.Key()
+		if g.seedAxes != nil {
+			seedKey = pt.Subset(g.seedAxes...).Key()
+		}
+		for r := 0; r < replicas; r++ {
+			seed := DeriveSeed(master, seedKey, r)
+			scenarios = append(scenarios, Scenario{
+				Name:    ScenarioName(pt, r),
+				Point:   pt,
+				Replica: r,
+				Seed:    seed,
+				Run:     build(pt, r, seed),
+			})
+		}
+	}
+	return scenarios
+}

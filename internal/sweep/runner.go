@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Progress is invoked after each scenario finishes (success, failure or
+// cancellation). done counts finished scenarios including this one; total
+// is the number of scenarios this Run or Resume call is executing. Calls
+// are serialised by the runner but arrive in completion order, which
+// depends on scheduling — do not derive results from it.
+type Progress func(done, total int, r Result)
+
+// Runner executes scenarios on a bounded worker pool.
+type Runner struct {
+	// Workers bounds concurrent scenario execution. Zero or negative means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, streams per-scenario completion events.
+	Progress Progress
+}
+
+// Run executes the scenarios and returns one Result per scenario, in
+// scenario order regardless of completion order. A scenario that returns an
+// error (or panics) is captured in its Result; the sweep continues. When
+// ctx is cancelled, not-yet-started scenarios complete immediately with
+// ctx's error — use Resume to finish them later. Scenarios already running
+// see the cancellation through the ctx passed to their RunFunc; one that
+// never re-checks it (the shipped simulators are single-shot) runs to
+// completion first, so cancellation latency is bounded by the longest
+// in-flight scenario.
+func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
+	results := make([]Result, len(scenarios))
+	indices := make([]int, len(scenarios))
+	for i := range scenarios {
+		indices[i] = i
+	}
+	r.run(ctx, scenarios, results, indices)
+	return results
+}
+
+// Resume re-executes exactly the scenarios whose previous Result carries an
+// error (typically context.Canceled from an interrupted Run) and returns a
+// patched copy of results. Successful results are untouched, so a
+// cancel/resume pair yields the same result set as one uninterrupted run.
+func (r *Runner) Resume(ctx context.Context, scenarios []Scenario, results []Result) []Result {
+	if len(results) != len(scenarios) {
+		panic(fmt.Sprintf("sweep: Resume with %d results for %d scenarios", len(results), len(scenarios)))
+	}
+	patched := append([]Result(nil), results...)
+	var pending []int
+	for i, res := range patched {
+		if res.Err != nil {
+			pending = append(pending, i)
+		}
+	}
+	r.run(ctx, scenarios, patched, pending)
+	return patched
+}
+
+// run executes scenarios[i] for each i in indices, writing results[i].
+func (r *Runner) run(ctx context.Context, scenarios []Scenario, results []Result, indices []int) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(indices) {
+		workers = len(indices)
+	}
+	if workers < 1 {
+		return
+	}
+
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	report := func(res Result) {
+		if r.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		r.Progress(done, len(indices), res)
+		mu.Unlock()
+	}
+
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				results[i] = runOne(ctx, scenarios[i])
+				report(results[i])
+			}
+		}()
+	}
+	for _, i := range indices {
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+}
+
+// runOne executes a single scenario, converting panics into errors so a
+// buggy scenario cannot take down the sweep.
+func runOne(ctx context.Context, sc Scenario) (res Result) {
+	res = Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("scenario %s panicked: %v", sc.Name, p)
+		}
+	}()
+	m, err := sc.Run(ctx)
+	if err != nil {
+		res.Err = fmt.Errorf("scenario %s: %w", sc.Name, err)
+		return res
+	}
+	res.Metrics = m
+	return res
+}
+
+// Errored returns the indices of results carrying an error, in order.
+func Errored(results []Result) []int {
+	var out []int
+	for i, r := range results {
+		if r.Err != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/flowsim"
+	"repro/internal/topo"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// FlowSpec describes one flow-level simulation scenario: the ISP-build +
+// workload recipe previously duplicated by examples/loadsweep, cmd/flowsim
+// and the Fig. 4 harness. Build the spec, then call Scenario (for sweeps)
+// or Simulate (for one-off runs with the full flowsim.Result).
+type FlowSpec struct {
+	// ISP selects the calibrated Table 1 topology.
+	ISP topo.ISP
+	// Capacity overrides every link's capacity; 0 keeps the built-in
+	// capacities.
+	Capacity units.BitRate
+	// Policy is the routing policy under test.
+	Policy flowsim.Policy
+	// Flows is the number of generated flows.
+	Flows int
+	// Lambda is the Poisson arrival rate (flows/s); 0 derives Flows/4 so
+	// arrivals span ≈4s of virtual time at any load level.
+	Lambda float64
+	// MeanSize is the mean of the bounded-Pareto (α=1.5) flow sizes on
+	// [MeanSize/20, MeanSize×8]; 0 defaults to 150MB.
+	MeanSize units.ByteSize
+	// DemandCap bounds each flow's rate; 0 means elastic flows.
+	DemandCap units.BitRate
+	// Horizon stops the simulation; 0 runs to completion.
+	Horizon time.Duration
+}
+
+// Graph builds the spec's topology with its capacity override applied.
+func (s FlowSpec) Graph() (*topo.Graph, error) {
+	g, err := topo.BuildISP(s.ISP)
+	if err != nil {
+		return nil, err
+	}
+	if s.Capacity > 0 {
+		g.SetAllCapacities(s.Capacity)
+	}
+	return g, nil
+}
+
+// Workload generates the spec's flow trace on g from one seed: Poisson
+// arrivals, bounded-Pareto sizes and a degree-weighted gravity matrix, each
+// on an independent sub-stream of seed.
+func (s FlowSpec) Workload(g *topo.Graph, seed int64) []workload.Flow {
+	lambda := s.Lambda
+	if lambda <= 0 {
+		lambda = float64(s.Flows) / 4
+	}
+	mean := s.MeanSize
+	if mean == 0 {
+		mean = 150 * units.MB
+	}
+	return workload.Generate(workload.Spec{
+		Arrivals: workload.NewPoisson(lambda, workload.SplitSeed(seed, 0)),
+		Sizes:    workload.NewBoundedPareto(1.5, mean/20, mean*8, workload.SplitSeed(seed, 1)),
+		Matrix:   workload.NewGravity(g, workload.SplitSeed(seed, 2)),
+		Count:    s.Flows,
+	})
+}
+
+// Simulate builds the topology and workload from seed and runs flowsim,
+// returning the full result.
+func (s FlowSpec) Simulate(seed int64) (*flowsim.Result, error) {
+	g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return flowsim.Run(flowsim.Config{
+		Graph:     g,
+		Policy:    s.Policy,
+		Flows:     s.Workload(g, seed),
+		Horizon:   s.Horizon,
+		DemandCap: s.DemandCap,
+	})
+}
+
+// Run returns a RunFunc executing the spec with the given seed, for use as
+// a Scenario body.
+func (s FlowSpec) Run(seed int64) RunFunc {
+	return func(ctx context.Context) (Metrics, error) {
+		if err := ctx.Err(); err != nil {
+			return Metrics{}, err
+		}
+		r, err := s.Simulate(seed)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return FlowMetrics(r), nil
+	}
+}
+
+// ParsePolicy maps a policy-axis value to its flowsim policy,
+// case-insensitively — the one decoder for every sweep with a policy axis.
+func ParsePolicy(s string) (flowsim.Policy, error) {
+	switch strings.ToLower(s) {
+	case "sp":
+		return flowsim.SP, nil
+	case "ecmp":
+		return flowsim.ECMP, nil
+	case "inrp":
+		return flowsim.INRP, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown policy %q (known: sp, ecmp, inrp)", s)
+}
+
+// MustParsePolicy is ParsePolicy for grid-axis values already validated at
+// grid construction.
+func MustParsePolicy(s string) flowsim.Policy {
+	p, err := ParsePolicy(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FlowMetrics converts a flowsim result into sweep metrics. Scalars cover
+// the Fig. 4 headline numbers; the "stretch" sample set pools the per-flow
+// INRP path stretch for CDF summaries.
+func FlowMetrics(r *flowsim.Result) Metrics {
+	m := NewMetrics()
+	m.Set("demand_satisfied", r.DemandSatisfied)
+	m.Set("goodput_ratio", r.GoodputRatio)
+	m.Set("utilization", r.Utilization)
+	m.Set("jain", r.Jain)
+	m.Set("fct_mean_s", r.FCTSeconds.Mean())
+	m.Set("completed", float64(r.Completed))
+	if r.Policy == flowsim.INRP {
+		m.Set("detoured_share", r.DetouredShare)
+		m.AddSamples("stretch", r.Stretch...)
+	}
+	return m
+}

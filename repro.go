@@ -21,10 +21,15 @@
 package repro
 
 import (
+	"context"
+	"io"
+
 	"repro/internal/chunknet"
 	"repro/internal/experiments"
 	"repro/internal/flowsim"
+	"repro/internal/report"
 	"repro/internal/route"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -54,6 +59,28 @@ type (
 	ChunkReport = chunknet.Report
 	// DetourProfile is a topology's Table 1 row.
 	DetourProfile = route.Profile
+	// ReportTable is a renderable text/CSV result table.
+	ReportTable = report.Table
+
+	// SweepGrid builds parameter grids for scenario sweeps.
+	SweepGrid = sweep.Grid
+	// SweepPoint is one parameter cell of a sweep grid.
+	SweepPoint = sweep.Point
+	// SweepScenario is one unit of sweep work.
+	SweepScenario = sweep.Scenario
+	// SweepResult is one scenario's outcome.
+	SweepResult = sweep.Result
+	// SweepMetrics is a scenario's measured values and sample sets.
+	SweepMetrics = sweep.Metrics
+	// SweepRunFunc executes one scenario.
+	SweepRunFunc = sweep.RunFunc
+	// SweepRunner executes scenarios on a bounded worker pool.
+	SweepRunner = sweep.Runner
+	// SweepAggregate summarises the replicas of one grid point.
+	SweepAggregate = sweep.Aggregate
+	// FlowSweepSpec is the reusable flow-level scenario recipe (topology +
+	// workload + policy).
+	FlowSweepSpec = sweep.FlowSpec
 )
 
 // Common rate and size constants.
@@ -97,6 +124,48 @@ func RunFlows(cfg FlowConfig) (*FlowResult, error) { return flowsim.Run(cfg) }
 
 // NewChunkSim builds a chunk-level INRPP/AIMD simulation.
 func NewChunkSim(cfg ChunkConfig) (*chunknet.Sim, error) { return chunknet.New(cfg) }
+
+// NewSweepGrid returns an empty sweep parameter grid.
+func NewSweepGrid() *SweepGrid { return sweep.NewGrid() }
+
+// ParseFlowPolicy maps "sp"/"ecmp"/"inrp" (any case) to a FlowPolicy.
+func ParseFlowPolicy(s string) (FlowPolicy, error) { return sweep.ParsePolicy(s) }
+
+// MustParseFlowPolicy is ParseFlowPolicy for known-good axis values.
+func MustParseFlowPolicy(s string) FlowPolicy { return sweep.MustParsePolicy(s) }
+
+// DeriveSweepSeed hashes (master, key, replica) into an independent
+// deterministic scenario seed.
+func DeriveSweepSeed(master int64, key string, replica int) int64 {
+	return sweep.DeriveSeed(master, key, replica)
+}
+
+// RunSweep executes scenarios on a worker pool (workers ≤ 0 means
+// GOMAXPROCS). Results come back in scenario order at any worker count.
+func RunSweep(ctx context.Context, workers int, scenarios []SweepScenario) []SweepResult {
+	return (&sweep.Runner{Workers: workers}).Run(ctx, scenarios)
+}
+
+// AggregateSweep groups results by grid point and accumulates replica
+// metrics.
+func AggregateSweep(results []SweepResult) []SweepAggregate {
+	return sweep.Aggregated(results)
+}
+
+// SweepTable renders aggregates as a mean±std table.
+func SweepTable(title string, aggs []SweepAggregate, metrics ...string) *ReportTable {
+	return sweep.Table(title, aggs, metrics...)
+}
+
+// SweepCSV renders aggregates as CSV with mean/std columns per metric.
+func SweepCSV(w io.Writer, aggs []SweepAggregate, metrics ...string) error {
+	return sweep.CSV(w, aggs, metrics...)
+}
+
+// SweepJSON renders aggregates as a deterministic JSON array.
+func SweepJSON(w io.Writer, aggs []SweepAggregate) error {
+	return sweep.JSON(w, aggs)
+}
 
 // Experiment entry points, re-exported from internal/experiments.
 var (

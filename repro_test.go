@@ -1,6 +1,9 @@
 package repro
 
 import (
+	"bytes"
+	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -48,6 +51,58 @@ func TestFacade(t *testing.T) {
 	rep := sim.Run(5 * time.Second)
 	if rep.DeliveredPerFlow[1] != 50 {
 		t.Errorf("facade chunk run delivered %d/50", rep.DeliveredPerFlow[1])
+	}
+}
+
+// TestSweepFacade drives a small grid sweep through the public API only:
+// grid expansion, worker-pool execution, aggregation and rendering.
+func TestSweepFacade(t *testing.T) {
+	grid := NewSweepGrid().Axis("policy", "SP", "INRP")
+	scenarios := grid.Expand(1, 2, func(pt SweepPoint, replica int, _ int64) SweepRunFunc {
+		spec := FlowSweepSpec{
+			ISP:       "VSNL (IN)",
+			Capacity:  100 * Mbps,
+			Flows:     20,
+			MeanSize:  20 * MB,
+			DemandCap: 50 * Mbps,
+			Horizon:   4 * time.Second,
+		}
+		spec.Policy = MustParseFlowPolicy(pt.Get("policy"))
+		return spec.Run(DeriveSweepSeed(1, "shared", replica))
+	})
+	if len(scenarios) != 4 {
+		t.Fatalf("scenarios = %d, want 4", len(scenarios))
+	}
+	results := RunSweep(context.Background(), 2, scenarios)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	aggs := AggregateSweep(results)
+	if len(aggs) != 2 {
+		t.Fatalf("aggregates = %d, want 2", len(aggs))
+	}
+	for _, a := range aggs {
+		if a.Replicas != 2 {
+			t.Errorf("point %s: replicas = %d, want 2", a.Point, a.Replicas)
+		}
+		if a.Mean("demand_satisfied") <= 0 {
+			t.Errorf("point %s: no throughput measured", a.Point)
+		}
+	}
+	if out := SweepTable("t", aggs).String(); !strings.Contains(out, "demand_satisfied") {
+		t.Errorf("sweep table missing metrics:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := SweepCSV(&buf, aggs); err != nil {
+		t.Fatal(err)
+	}
+	if err := SweepJSON(&buf, aggs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty CSV/JSON output")
 	}
 }
 
