@@ -1,7 +1,12 @@
 // Command sweep runs parameter-grid scenario sweeps on the sweep engine:
-// it expands topology × policy × load × replica grids into flow-level
-// scenarios, executes them on all cores with deterministic per-scenario
-// seeding, and prints aggregated mean±std summaries.
+// it expands parameter grids into scenario lists, executes them on all
+// cores with deterministic per-scenario seeding, and prints aggregated
+// mean±std summaries. Two grid modes cover the repo's two simulators:
+//
+//   - -mode flow (default): topology × policy × load flow-level scenarios,
+//     the Figure 4 machinery;
+//   - -mode chunk: transport × anticipation × custody × load chunk-level
+//     scenarios on the custody bottleneck chain, the §3.3 machinery.
 //
 // Usage:
 //
@@ -10,8 +15,21 @@
 //	      -capacity 450Mbps -demand 300Mbps -size 150MB -horizon 8s \
 //	      -format table|csv|json [-metrics demand_satisfied,jain] [-q]
 //
-// The workload seed at each grid point is derived from the point minus the
-// policy axis, so every policy is measured on identical flows; output is
+//	sweep -mode chunk -transports inrpp,aimd,arc -anticipations 256,4096 \
+//	      -custody 1GB,10GB -transfers 1,4 -chunks 2000 -replicas 3
+//
+// Anticipation and custody are INRPP knobs: the AIMD/ARC baselines run
+// only at the first listed value of each instead of being recomputed
+// byte-identically per cell.
+//
+// With -checkpoint FILE every completed scenario is streamed to FILE as
+// one JSON line; rerunning with -resume restores those scenarios from
+// disk and executes only the rest, so a killed process (SIGKILL included)
+// finishes with output byte-identical to an uninterrupted run.
+//
+// The workload seed at each grid point is derived from the point minus
+// the comparison axis (policy in flow mode; transport/ac/custody in chunk
+// mode), so alternatives are measured under identical load; output is
 // byte-identical for the same grid and seed at any -workers value.
 package main
 
@@ -30,75 +48,69 @@ import (
 )
 
 func main() {
-	ispList := flag.String("isps", string(topo.Tiscali), "comma-separated ISP topologies")
-	policyList := flag.String("policies", "sp,inrp", "comma-separated policies: sp|ecmp|inrp")
-	flowsList := flag.String("flows", "60,120,180,240,300", "comma-separated flow counts (offered-load axis)")
+	mode := flag.String("mode", "flow", "grid mode: flow|chunk")
 	replicas := flag.Int("replicas", 3, "seed replicas per grid point")
 	seed := flag.Int64("seed", 1, "master sweep seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	capStr := flag.String("capacity", "450Mbps", "uniform link capacity override (0 = keep built-in)")
-	demandStr := flag.String("demand", "300Mbps", "per-flow rate demand (0 = elastic)")
-	sizeStr := flag.String("size", "150MB", "mean flow size (bounded Pareto)")
-	lambda := flag.Float64("lambda", 0, "flow arrival rate (flows/s; 0 = flows/4)")
-	horizon := flag.Duration("horizon", 8*time.Second, "virtual time horizon per scenario")
+	horizon := flag.Duration("horizon", 0, "virtual time horizon per scenario (0 = mode default: 8s flow, 5s chunk)")
 	format := flag.String("format", "table", "output format: table|csv|json")
 	metricsList := flag.String("metrics", "", "comma-separated metric subset (default: all)")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	checkpointPath := flag.String("checkpoint", "", "stream completed scenarios to this JSONL file")
+	resume := flag.Bool("resume", false, "restore completed scenarios from -checkpoint, run only the rest")
+
+	// Flow-mode axes and workload shape.
+	ispList := flag.String("isps", string(topo.Tiscali), "flow: comma-separated ISP topologies")
+	policyList := flag.String("policies", "sp,inrp", "flow: comma-separated policies: sp|ecmp|inrp")
+	flowsList := flag.String("flows", "60,120,180,240,300", "flow: comma-separated flow counts (offered-load axis)")
+	capStr := flag.String("capacity", "450Mbps", "flow: uniform link capacity override (0 = keep built-in)")
+	demandStr := flag.String("demand", "300Mbps", "flow: per-flow rate demand (0 = elastic)")
+	sizeStr := flag.String("size", "150MB", "flow: mean flow size (bounded Pareto)")
+	lambda := flag.Float64("lambda", 0, "flow: arrival rate (flows/s; 0 = flows/4)")
+
+	// Chunk-mode axes and chain shape.
+	transportList := flag.String("transports", "inrpp,aimd,arc", "chunk: comma-separated transports: inrpp|aimd|arc")
+	acList := flag.String("anticipations", "4096", "chunk: comma-separated INRPP anticipation windows (chunks)")
+	custodyList := flag.String("custody", "10GB", "chunk: comma-separated INRPP custody budgets")
+	transfersList := flag.String("transfers", "1", "chunk: comma-separated concurrent transfer counts (load axis)")
+	ingressStr := flag.String("ingress", "40Gbps", "chunk: chain ingress link rate")
+	egressStr := flag.String("egress", "2Gbps", "chunk: chain egress (bottleneck) link rate")
+	chunkSizeStr := flag.String("chunksize", "10MB", "chunk: chunk size")
+	chunks := flag.Int64("chunks", 2000, "chunk: chunks per transfer")
+	bufferStr := flag.String("buffer", "25MB", "chunk: AIMD/ARC drop-tail buffer")
 	flag.Parse()
 
-	capacity, err := units.ParseBitRate(*capStr)
-	if err != nil {
-		fatal(err)
-	}
-	demand, err := units.ParseBitRate(*demandStr)
-	if err != nil {
-		fatal(err)
-	}
-	meanSize, err := units.ParseByteSize(*sizeStr)
-	if err != nil {
-		fatal(err)
-	}
-
-	isps := split(*ispList)
-	for _, isp := range isps {
-		if _, err := topo.BuildISP(topo.ISP(isp)); err != nil {
-			fatal(fmt.Errorf("%w (known: %v)", err, topo.ISPs()))
+	var (
+		scenarios []sweep.Scenario
+		label     string
+	)
+	switch *mode {
+	case "flow":
+		if *horizon == 0 {
+			*horizon = 8 * time.Second
 		}
-	}
-	pols := split(*policyList)
-	for _, p := range pols {
-		if _, err := sweep.ParsePolicy(p); err != nil {
-			fatal(err)
-		}
-	}
-	for _, f := range split(*flowsList) {
-		if _, err := strconv.Atoi(f); err != nil {
-			fatal(fmt.Errorf("bad -flows entry %q", f))
-		}
-	}
-
-	// SeedAxes pairs workloads across the policy axis: every policy sees
-	// the same flows at the same (isp, flows, replica).
-	grid := sweep.NewGrid().
-		Axis("isp", isps...).
-		Axis("flows", split(*flowsList)...).
-		Axis("policy", pols...).
-		SeedAxes("isp", "flows")
-	scenarios := grid.Expand(*seed, *replicas,
-		func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
-			n, _ := strconv.Atoi(pt.Get("flows"))
-			spec := sweep.FlowSpec{
-				ISP:       topo.ISP(pt.Get("isp")),
-				Capacity:  capacity,
-				Policy:    sweep.MustParsePolicy(pt.Get("policy")),
-				Flows:     n,
-				Lambda:    *lambda,
-				MeanSize:  meanSize,
-				DemandCap: demand,
-				Horizon:   *horizon,
-			}
-			return spec.Run(seed)
+		scenarios = flowScenarios(flowArgs{
+			isps: *ispList, policies: *policyList, flows: *flowsList,
+			capacity: *capStr, demand: *demandStr, size: *sizeStr,
+			lambda: *lambda, horizon: *horizon, seed: *seed, replicas: *replicas,
 		})
+		label = fmt.Sprintf("flow capacity=%s demand=%s size=%s lambda=%g horizon=%s",
+			*capStr, *demandStr, *sizeStr, *lambda, *horizon)
+	case "chunk":
+		if *horizon == 0 {
+			*horizon = 5 * time.Second
+		}
+		scenarios = chunkScenarios(chunkArgs{
+			transports: *transportList, acs: *acList, custody: *custodyList,
+			transfers: *transfersList, ingress: *ingressStr, egress: *egressStr,
+			chunkSize: *chunkSizeStr, chunks: *chunks, buffer: *bufferStr,
+			horizon: *horizon, seed: *seed, replicas: *replicas,
+		})
+		label = fmt.Sprintf("chunk ingress=%s egress=%s chunksize=%s chunks=%d buffer=%s horizon=%s",
+			*ingressStr, *egressStr, *chunkSizeStr, *chunks, *bufferStr, *horizon)
+	default:
+		fatal(fmt.Errorf("unknown mode %q (known: flow, chunk)", *mode))
+	}
 
 	runner := &sweep.Runner{Workers: *workers}
 	if !*quiet {
@@ -110,7 +122,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s, %v)\n", done, total, r.Name, status, r.Elapsed.Round(time.Millisecond))
 		}
 	}
-	results := runner.Run(context.Background(), scenarios)
+
+	var prior []sweep.Result
+	if *resume {
+		if *checkpointPath == "" {
+			fatal(fmt.Errorf("-resume requires -checkpoint"))
+		}
+		loaded, n, err := sweep.LoadCheckpoint(*checkpointPath, label, scenarios)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: restored %d/%d scenarios from %s\n", n, len(scenarios), *checkpointPath)
+		prior = loaded
+	}
+	var cp *sweep.Checkpoint
+	if *checkpointPath != "" {
+		var err error
+		if cp, err = sweep.NewCheckpoint(*checkpointPath, label); err != nil {
+			fatal(err)
+		}
+		runner.Progress = cp.Progress(runner.Progress)
+	}
+
+	var results []sweep.Result
+	if prior != nil {
+		results = runner.Resume(context.Background(), scenarios, prior)
+	} else {
+		results = runner.Run(context.Background(), scenarios)
+	}
+	if cp != nil {
+		if err := cp.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: checkpoint: %v\n", err)
+		}
+	}
 	for _, i := range sweep.Errored(results) {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", results[i].Err)
 	}
@@ -119,8 +163,14 @@ func main() {
 	metrics := split(*metricsList)
 	switch *format {
 	case "table":
+		rep := *replicas
+		if rep < 1 {
+			rep = 1 // mirrors Grid.Expand's floor
+		}
+		// Points counted from the scenario list, not grid.Size(): chunk
+		// mode collapses redundant baseline cells after expansion.
 		title := fmt.Sprintf("Scenario sweep — %d scenarios, %d points, seed %d",
-			len(scenarios), grid.Size(), *seed)
+			len(scenarios), len(scenarios)/rep, *seed)
 		if err := sweep.Table(title, aggs, metrics...).Render(os.Stdout); err != nil {
 			fatal(err)
 		}
@@ -139,6 +189,168 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios failed\n", n, len(results))
 		os.Exit(1)
 	}
+}
+
+type flowArgs struct {
+	isps, policies, flows  string
+	capacity, demand, size string
+	lambda                 float64
+	horizon                time.Duration
+	seed                   int64
+	replicas               int
+}
+
+// flowScenarios expands the flow-level grid: the workload seed at each
+// point is derived from the point minus the policy axis, so every policy
+// is measured on identical flows.
+func flowScenarios(a flowArgs) []sweep.Scenario {
+	capacity, err := units.ParseBitRate(a.capacity)
+	if err != nil {
+		fatal(err)
+	}
+	demand, err := units.ParseBitRate(a.demand)
+	if err != nil {
+		fatal(err)
+	}
+	meanSize, err := units.ParseByteSize(a.size)
+	if err != nil {
+		fatal(err)
+	}
+
+	isps := split(a.isps)
+	for _, isp := range isps {
+		if _, err := topo.BuildISP(topo.ISP(isp)); err != nil {
+			fatal(fmt.Errorf("%w (known: %v)", err, topo.ISPs()))
+		}
+	}
+	pols := split(a.policies)
+	for _, p := range pols {
+		if _, err := sweep.ParsePolicy(p); err != nil {
+			fatal(err)
+		}
+	}
+	for _, f := range split(a.flows) {
+		if _, err := strconv.Atoi(f); err != nil {
+			fatal(fmt.Errorf("bad -flows entry %q", f))
+		}
+	}
+
+	grid := sweep.NewGrid().
+		Axis("isp", isps...).
+		Axis("flows", split(a.flows)...).
+		Axis("policy", pols...).
+		SeedAxes("isp", "flows")
+	scenarios := grid.Expand(a.seed, a.replicas,
+		func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
+			n, _ := strconv.Atoi(pt.Get("flows"))
+			spec := sweep.FlowSpec{
+				ISP:       topo.ISP(pt.Get("isp")),
+				Capacity:  capacity,
+				Policy:    sweep.MustParsePolicy(pt.Get("policy")),
+				Flows:     n,
+				Lambda:    a.lambda,
+				MeanSize:  meanSize,
+				DemandCap: demand,
+				Horizon:   a.horizon,
+			}
+			return spec.Run(seed)
+		})
+	return scenarios
+}
+
+type chunkArgs struct {
+	transports, acs, custody, transfers string
+	ingress, egress, chunkSize, buffer  string
+	chunks                              int64
+	horizon                             time.Duration
+	seed                                int64
+	replicas                            int
+}
+
+// chunkScenarios expands the chunk-level grid over the custody bottleneck
+// chain. The seed is derived from the transfers axis alone, so every
+// transport/anticipation/custody combination sees identical start jitter
+// at each load level and replica.
+func chunkScenarios(a chunkArgs) []sweep.Scenario {
+	ingress, err := units.ParseBitRate(a.ingress)
+	if err != nil {
+		fatal(err)
+	}
+	egress, err := units.ParseBitRate(a.egress)
+	if err != nil {
+		fatal(err)
+	}
+	chunkSize, err := units.ParseByteSize(a.chunkSize)
+	if err != nil {
+		fatal(err)
+	}
+	buffer, err := units.ParseByteSize(a.buffer)
+	if err != nil {
+		fatal(err)
+	}
+
+	transports := split(a.transports)
+	for _, tr := range transports {
+		if _, err := sweep.ParseTransport(tr); err != nil {
+			fatal(err)
+		}
+	}
+	for _, ac := range split(a.acs) {
+		if _, err := strconv.ParseInt(ac, 10, 64); err != nil {
+			fatal(fmt.Errorf("bad -anticipations entry %q", ac))
+		}
+	}
+	for _, c := range split(a.custody) {
+		if _, err := units.ParseByteSize(c); err != nil {
+			fatal(fmt.Errorf("bad -custody entry %q: %w", c, err))
+		}
+	}
+	for _, n := range split(a.transfers) {
+		if _, err := strconv.Atoi(n); err != nil {
+			fatal(fmt.Errorf("bad -transfers entry %q", n))
+		}
+	}
+
+	grid := sweep.NewGrid().
+		Axis("transport", transports...).
+		Axis("ac", split(a.acs)...).
+		Axis("custody", split(a.custody)...).
+		Axis("transfers", split(a.transfers)...).
+		SeedAxes("transfers")
+	scenarios := grid.Expand(a.seed, a.replicas,
+		func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
+			ac, _ := strconv.ParseInt(pt.Get("ac"), 10, 64)
+			custody, _ := units.ParseByteSize(pt.Get("custody"))
+			transfers, _ := strconv.Atoi(pt.Get("transfers"))
+			spec := sweep.ChunkSpec{
+				Transport:    sweep.MustParseTransport(pt.Get("transport")),
+				IngressRate:  ingress,
+				EgressRate:   egress,
+				ChunkSize:    chunkSize,
+				Anticipation: ac,
+				Custody:      custody,
+				Buffer:       buffer,
+				Transfers:    transfers,
+				Chunks:       a.chunks,
+				Horizon:      a.horizon,
+			}
+			return spec.Run(seed)
+		})
+
+	// Anticipation and custody are INRPP knobs: AIMD and ARC would run
+	// byte-identically at every (ac, custody) cell. Baselines keep only
+	// the first listed value of each, so wide INRPP grids don't multiply
+	// baseline wall-clock (or duplicate their rows) for free.
+	acs, custodies := split(a.acs), split(a.custody)
+	kept := scenarios[:0]
+	for _, sc := range scenarios {
+		if sc.Point.Get("transport") != "inrpp" &&
+			(sc.Point.Get("ac") != acs[0] || sc.Point.Get("custody") != custodies[0]) {
+			continue
+		}
+		kept = append(kept, sc)
+	}
+	return kept
 }
 
 // split parses a comma-separated list, trimming blanks.

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSweep compiles the sweep binary once per test into a temp dir.
+func buildSweep(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sweep")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// chunkGridArgs is a chunk grid sized so each scenario runs long enough
+// (~0.5s wall) for a SIGKILL to land mid-sweep, but the whole test stays
+// in seconds.
+func chunkGridArgs(workers string) []string {
+	return []string{
+		"-mode", "chunk",
+		"-transports", "inrpp,aimd,arc",
+		"-anticipations", "1024",
+		"-custody", "100MB",
+		"-transfers", "2",
+		"-ingress", "2Gbps", "-egress", "1Gbps",
+		"-chunksize", "10KB", "-chunks", "100000",
+		"-buffer", "2MB",
+		"-horizon", "10s",
+		"-replicas", "3",
+		"-seed", "7",
+		"-workers", workers,
+	}
+}
+
+// runSweep executes the binary and returns stdout, failing the test on a
+// non-zero exit.
+func runSweep(t *testing.T, bin string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v\nstderr:\n%s", bin, strings.Join(args, " "), err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+// killAfterProgress starts the sweep and SIGKILLs the process as soon as
+// its first progress line appears — a scenario has completed and been
+// checkpointed, and the rest of the sweep is in flight.
+func killAfterProgress(t *testing.T, bin string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	killed := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "[") {
+			if err := cmd.Process.Kill(); err != nil { // SIGKILL, no cleanup
+				t.Fatal(err)
+			}
+			killed = true
+			break
+		}
+	}
+	if !killed {
+		t.Fatal("sweep exited before any progress line; cannot exercise kill/resume")
+	}
+	cmd.Wait() //nolint:errcheck — killed on purpose
+}
+
+var restoredRE = regexp.MustCompile(`restored (\d+)/(\d+) scenarios`)
+
+// TestChunkSweepKillResume is the end-to-end checkpoint guarantee: a
+// chunknet grid sweep killed mid-run with SIGKILL, then resumed with
+// -resume, yields byte-identical table/CSV/JSON output to an
+// uninterrupted run — at worker counts different from the killed run's.
+func TestChunkSweepKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process kill/resume run")
+	}
+	bin := buildSweep(t)
+
+	// Golden, uninterrupted run (checkpointed so the CSV/JSON renderings
+	// below can come from a pure restore instead of re-simulating).
+	goldenDir := t.TempDir()
+	goldenCP := filepath.Join(goldenDir, "golden.jsonl")
+	golden, _ := runSweep(t, bin, append(chunkGridArgs("2"), "-checkpoint", goldenCP)...)
+	goldenCSV, _ := runSweep(t, bin, append(chunkGridArgs("2"),
+		"-checkpoint", goldenCP, "-resume", "-q", "-format", "csv")...)
+	goldenJSON, _ := runSweep(t, bin, append(chunkGridArgs("2"),
+		"-checkpoint", goldenCP, "-resume", "-q", "-format", "json")...)
+
+	for _, workers := range []string{"1", "4"} {
+		cp := filepath.Join(t.TempDir(), "sweep.jsonl")
+
+		killAfterProgress(t, bin, append(chunkGridArgs(workers), "-checkpoint", cp)...)
+
+		out, errOut := runSweep(t, bin, append(chunkGridArgs(workers), "-checkpoint", cp, "-resume")...)
+		m := restoredRE.FindStringSubmatch(errOut)
+		if m == nil {
+			t.Fatalf("workers=%s: no restore banner in stderr:\n%s", workers, errOut)
+		}
+		n, _ := strconv.Atoi(m[1])
+		total, _ := strconv.Atoi(m[2])
+		if n < 1 || n >= total {
+			t.Errorf("workers=%s: restored %d/%d; kill did not land mid-sweep", workers, n, total)
+		}
+		if out != golden {
+			t.Errorf("workers=%s: resumed table differs from uninterrupted run:\n%s\n--- vs ---\n%s",
+				workers, out, golden)
+		}
+
+		// The sweep is now complete on disk; every format must match the
+		// golden rendering byte for byte.
+		if csv, _ := runSweep(t, bin, append(chunkGridArgs(workers),
+			"-checkpoint", cp, "-resume", "-q", "-format", "csv")...); csv != goldenCSV {
+			t.Errorf("workers=%s: resumed CSV differs", workers)
+		}
+		if js, _ := runSweep(t, bin, append(chunkGridArgs(workers),
+			"-checkpoint", cp, "-resume", "-q", "-format", "json")...); js != goldenJSON {
+			t.Errorf("workers=%s: resumed JSON differs", workers)
+		}
+	}
+}
+
+// TestFlowSweepCheckpointResume covers the flow grid on the same flags: a
+// cancelled-then-resumed checkpoint file reproduces the uninterrupted
+// output.
+func TestFlowSweepCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep run")
+	}
+	bin := buildSweep(t)
+	args := []string{
+		"-isps", "VSNL (IN)",
+		"-policies", "sp,inrp",
+		"-flows", "30",
+		"-capacity", "100Mbps", "-demand", "50Mbps", "-size", "20MB",
+		"-horizon", "4s",
+		"-replicas", "2",
+		"-seed", "1",
+		"-workers", "2",
+		"-q",
+	}
+	golden, _ := runSweep(t, bin, args...)
+
+	cp := filepath.Join(t.TempDir(), "flow.jsonl")
+	full, _ := runSweep(t, bin, append(args, "-checkpoint", cp)...)
+	if full != golden {
+		t.Error("checkpointed run differs from plain run")
+	}
+	resumed, errOut := runSweep(t, bin, append(args, "-checkpoint", cp, "-resume")...)
+	if resumed != golden {
+		t.Errorf("resumed run differs from plain run:\n%s\n--- vs ---\n%s", resumed, golden)
+	}
+	if !strings.Contains(errOut, "restored 4/4") {
+		t.Errorf("expected full restore, stderr:\n%s", errOut)
+	}
+}
+
+// TestSweepResumeRequiresCheckpoint: -resume without -checkpoint must
+// fail fast, before any simulation work.
+func TestSweepResumeRequiresCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep run")
+	}
+	bin := buildSweep(t)
+	start := time.Now()
+	out, err := exec.Command(bin, append(chunkGridArgs("1"), "-resume")...).CombinedOutput()
+	if err == nil {
+		t.Fatal("-resume without -checkpoint should fail")
+	}
+	if !bytes.Contains(out, []byte("-resume requires -checkpoint")) {
+		t.Errorf("unexpected failure output: %s", out)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("-resume validation ran the sweep before failing")
+	}
+}

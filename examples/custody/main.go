@@ -1,73 +1,64 @@
-// Custody demonstrates the back-pressure phase (§3.3): a sender pushes
-// hard into a 20× bottleneck. With INRPP, the bottleneck router takes
-// custody of the pushed surplus and explicitly slows its upstream — no
-// packet is lost. The AIMD baseline on the same chain overflows its
-// drop-tail buffer and pays in retransmissions.
+// Custody demonstrates the back-pressure phase (§3.3) on the sweep
+// engine: a sender pushes hard into a 20× bottleneck, once per transport
+// on the transport axis of a chunknet grid. With INRPP, the bottleneck
+// router takes custody of the pushed surplus and explicitly slows its
+// upstream — no chunk is lost. The AIMD and ARC baselines on the same
+// chain overflow their drop-tail buffer and pay in retransmissions.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"repro"
-	"repro/internal/topo"
 )
 
 func main() {
-	// src --4Gbps-- router --200Mbps-- receiver
-	build := func() *repro.Graph {
-		g := topo.New("custody-chain")
-		g.AddNodes(3)
-		g.MustAddLink(0, 1, 4*repro.Gbps, time.Millisecond)
-		g.MustAddLink(1, 2, 200*repro.Mbps, time.Millisecond)
-		return g
+	// src --4Gbps-- router --200Mbps-- receiver, 600MB offered.
+	spec := repro.ChunkSweepSpec{
+		IngressRate:  4 * repro.Gbps,
+		EgressRate:   200 * repro.Mbps,
+		ChunkSize:    repro.MB,
+		Anticipation: 512,
+		Custody:      repro.GB,     // INRPP custody budget at the router
+		Buffer:       2 * repro.MB, // AIMD/ARC drop-tail buffer
+		Chunks:       600,
+		Horizon:      30 * time.Second,
+		Ti:           20 * time.Millisecond,
 	}
 
 	fmt.Println("pushing 600MB through a 4Gbps→200Mbps bottleneck chain")
 	fmt.Println()
 
-	for _, transport := range []struct {
-		name string
-		cfg  repro.ChunkConfig
-	}{
-		{"INRPP (1GB custody)", repro.ChunkConfig{
-			Graph:              build(),
-			Transport:          repro.INRPP,
-			ChunkSize:          repro.MB,
-			Anticipation:       512,
-			CustodyBytes:       repro.GB,
-			InitialRequestRate: 4 * repro.Gbps,
-			Ti:                 20 * time.Millisecond,
-		}},
-		{"AIMD (2MB buffer)", repro.ChunkConfig{
-			Graph:      build(),
-			Transport:  repro.AIMD,
-			ChunkSize:  repro.MB,
-			QueueBytes: 2 * repro.MB,
-		}},
-	} {
-		sim, err := repro.NewChunkSim(transport.cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := sim.AddTransfer(repro.ChunkTransfer{ID: 1, Src: 0, Dst: 2, Chunks: 600}); err != nil {
-			log.Fatal(err)
-		}
-		rep := sim.Run(30 * time.Second)
+	grid := repro.NewSweepGrid().Axis("transport", "inrpp", "aimd", "arc")
+	scenarios := grid.Expand(1, 1,
+		func(pt repro.SweepPoint, replica int, seed int64) repro.SweepRunFunc {
+			s := spec
+			s.Transport = repro.MustParseChunkTransport(pt.Get("transport"))
+			return s.Run(seed)
+		})
+	results := repro.RunSweep(context.Background(), 0, scenarios)
 
-		fmt.Printf("%s\n", transport.name)
-		fmt.Printf("  delivered    %d/600 chunks\n", rep.DeliveredPerFlow[1])
-		fmt.Printf("  dropped      %d\n", rep.ChunksDropped)
-		fmt.Printf("  retransmits  %d\n", rep.Retransmits)
-		if rep.Transport == repro.INRPP {
-			fmt.Printf("  custody peak %v, mean residency %.2fs\n",
-				rep.CustodyPeak, rep.CustodyResidency.Mean())
-			fmt.Printf("  back-pressure: %d notifications, %d closed-loop entries\n",
-				rep.BackpressureOn, rep.ClosedLoopEntries)
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
 		}
-		if fct, ok := rep.Completions[1]; ok {
-			fmt.Printf("  completion   %.2fs\n", fct.Seconds())
+		v := r.Metrics.Values
+		transport := repro.MustParseChunkTransport(r.Point.Get("transport"))
+		fmt.Printf("%s\n", transport)
+		fmt.Printf("  delivered    %.0f/600 chunks\n", v["delivered"])
+		fmt.Printf("  dropped      %.0f\n", v["dropped"])
+		fmt.Printf("  retransmits  %.0f\n", v["retransmits"])
+		if transport == repro.INRPP {
+			fmt.Printf("  custody peak %v, mean residency %.2fs\n",
+				repro.ByteSize(v["custody_peak_bytes"]), v["residency_mean_s"])
+			fmt.Printf("  back-pressure: %.0f notifications, %.0f closed-loop entries\n",
+				v["backpressure"], v["closed_loop"])
+		}
+		if fct := r.Metrics.Samples["completion_s"]; len(fct) > 0 {
+			fmt.Printf("  completion   %.2fs\n", fct[0])
 		}
 		fmt.Println()
 	}

@@ -1,7 +1,3 @@
-// Package cache implements the in-network storage substrate of INRPP: the
-// custody store that routers use to take temporary custody of chunks at a
-// bottleneck (store-and-forward), plus a classic LRU content store for the
-// ICN caching comparison.
 package cache
 
 import (

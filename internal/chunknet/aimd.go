@@ -30,14 +30,17 @@ func (s *Sim) aimdStart(f *flowState) {
 // aimdTrySend pushes data while the window allows.
 func (s *Sim) aimdTrySend(f *flowState) {
 	for f.aimdNext < f.tr.Chunks && float64(f.aimdNext-f.lastCum) <= f.cwnd {
-		s.aimdSendChunk(f, f.aimdNext)
+		s.sendChunkE2E(f, f.aimdNext)
 		f.aimdNext++
 	}
 }
 
-func (s *Sim) aimdSendChunk(f *flowState, seq int64) {
+// sendChunkE2E pushes one chunk end-to-end along the flow's single path,
+// with no detour budget — the send primitive shared by the AIMD and ARC
+// baselines, which never pool in-network resources.
+func (s *Sim) sendChunkE2E(f *flowState, seq int64) {
 	p := s.makeDataPacket(f, seq)
-	p.detourBudget = 0 // single-path: AIMD never detours
+	p.detourBudget = 0
 	if len(f.dataPath) < 2 {
 		s.deliver(p)
 		return
@@ -101,7 +104,7 @@ func (s *Sim) aimdRetransmit(f *flowState) {
 		return
 	}
 	s.rep.Retransmits++
-	s.aimdSendChunk(f, seq)
+	s.sendChunkE2E(f, seq)
 	s.aimdResetRTO(f)
 }
 

@@ -1,0 +1,124 @@
+package chunknet
+
+// This file implements the ARC baseline — adaptive request control: the
+// receiver drives the transfer by running AIMD over its request window,
+// the way CCN/NDN interest-shaping transports probe for capacity. Like
+// INRPP the loop is receiver-driven and chunk-granular; like AIMD it is
+// end-to-end resource probing over drop-tail queues — no custody, no
+// detours, no back-pressure. On the transport axis of a chunknet sweep it
+// is the middle point that separates how much of INRPP's gain comes from
+// in-network resource pooling versus from receiver-driven pull alone.
+//
+// (Not to be confused with arcState in arc.go, which is one direction of
+// one link; the name collision is historical — "arc" the graph edge
+// predates ARC the transport.)
+
+// arcStart opens an ARC flow: prime the request window and arm the stall
+// timer.
+func (s *Sim) arcStart(f *flowState) {
+	s.arcRequestMore(f)
+	s.arcResetRTO(f)
+}
+
+// arcRequestMore issues requests while the AIMD window has room. Each
+// request asks for exactly one chunk; the sender answers with that chunk
+// and nothing else.
+func (s *Sim) arcRequestMore(f *flowState) {
+	for f.nextReq < f.tr.Chunks && float64(f.arcOut) < f.cwnd {
+		s.sendRequest(f, f.nextReq, false)
+		f.nextReq++
+		f.arcOut++
+	}
+}
+
+// arcOnRequest is the ARC sender: answer the requested chunk directly — a
+// strict one-request-one-chunk closed loop, with no anticipation horizon
+// and no open-loop push.
+func (s *Sim) arcOnRequest(p *packet) {
+	f := s.flows[p.flow]
+	if p.resend {
+		s.rep.Retransmits++
+	}
+	s.sendChunkE2E(f, p.seq)
+}
+
+// arcOnData runs at the receiver on every delivery: decrement the
+// outstanding count, grow the window (slow start, then congestion
+// avoidance), detect holes — three deliveries past a missing chunk
+// trigger a fast re-request, the receiver-side analogue of triple
+// duplicate acks — and refill the window.
+func (s *Sim) arcOnData(f *flowState, seq int64) {
+	if f.arcOut > 0 {
+		f.arcOut--
+	}
+	if f.cwnd < f.ssthresh {
+		f.cwnd++
+	} else {
+		f.cwnd += 1 / f.cwnd
+	}
+	if seq > f.win.Next() {
+		f.dup++
+		// One fast re-request (and one window halving) per hole: with a
+		// window of in-flight chunks behind a loss, dup would otherwise
+		// re-trigger every three deliveries while the first resend is
+		// still an RTT away — NewReno's recovery-point idea, keyed here
+		// on the hole itself (the lastNack pattern INRPP's receiver
+		// uses).
+		if f.dup >= 3 && f.win.Next() != f.lastNack {
+			f.dup = 0
+			f.lastNack = f.win.Next()
+			s.arcHalveWindow(f)
+			// The re-request reuses the lost request's outstanding slot
+			// (that request was counted but its data will never arrive),
+			// so arcOut must not grow — mirroring TCP pipe accounting.
+			s.sendRequest(f, f.win.Next(), true)
+		}
+	} else {
+		f.dup = 0
+	}
+	if f.win.Done() {
+		f.rto.cancel()
+		return
+	}
+	s.arcResetRTO(f)
+	s.arcRequestMore(f)
+}
+
+// arcHalveWindow applies the multiplicative decrease.
+func (s *Sim) arcHalveWindow(f *flowState) {
+	f.ssthresh = f.cwnd / 2
+	if f.ssthresh < 2 {
+		f.ssthresh = 2
+	}
+	f.cwnd = f.ssthresh
+}
+
+// arcResetRTO (re)arms the receiver's stall timer.
+func (s *Sim) arcResetRTO(f *flowState) {
+	f.rto.cancel()
+	f.rto = &rtoTimer{t: s.des.After(s.cfg.RTO, func() { s.arcTimeout(f) })}
+}
+
+// arcTimeout is the coarse stall recovery: collapse the window to one
+// request and re-ask for the first missing chunk. When nothing is missing
+// the outstanding count merely drifted (a duplicate delivery was
+// discarded), so reset it and refill.
+func (s *Sim) arcTimeout(f *flowState) {
+	if f.done || f.win.Done() {
+		return
+	}
+	f.ssthresh = f.cwnd / 2
+	if f.ssthresh < 2 {
+		f.ssthresh = 2
+	}
+	f.cwnd = 1
+	f.dup = 0
+	if f.win.Next() < f.nextReq {
+		s.sendRequest(f, f.win.Next(), true)
+		f.arcOut = 1
+	} else {
+		f.arcOut = 0
+		s.arcRequestMore(f)
+	}
+	s.arcResetRTO(f)
+}

@@ -1,18 +1,3 @@
-// Package chunknet is the chunk-level discrete-event simulator of the
-// INRPP reproduction: named chunks move over capacitated links between
-// receiver-driven endpoints, through routers that run the paper's
-// three-phase interface machinery (push-data / detour / back-pressure)
-// with custody caches, per-interface anticipated-rate estimation and
-// explicit back-pressure notifications.
-//
-// Two transports share the same links and topology:
-//
-//   - INRPP — the paper's design (§3.2–3.3);
-//   - AIMD — a TCP-Reno-flavoured single-path baseline with drop-tail
-//     queues, used by the custody/back-pressure experiment to show what
-//     the paper's store-and-forward custody avoids.
-//
-// The simulator is single-threaded and deterministic.
 package chunknet
 
 import (
@@ -31,10 +16,11 @@ import (
 // Transport selects the protocol stack of a run.
 type Transport int
 
-// The two transports.
+// The three transports.
 const (
 	INRPP Transport = iota
 	AIMD
+	ARC
 )
 
 // String names the transport.
@@ -44,6 +30,8 @@ func (t Transport) String() string {
 		return "INRPP"
 	case AIMD:
 		return "AIMD"
+	case ARC:
+		return "ARC"
 	default:
 		return fmt.Sprintf("Transport(%d)", int(t))
 	}
@@ -273,6 +261,7 @@ func (s *Sim) AddTransfer(tr Transfer) error {
 		cwnd:       2,
 		ssthresh:   64,
 		lastCum:    -1,
+		lastNack:   -1, // chunk 0 must be NACKable/re-requestable
 	}
 	s.flows[tr.ID] = f
 	s.flowIDs = append(s.flowIDs, tr.ID)
@@ -292,6 +281,8 @@ func (s *Sim) Run(until time.Duration) *Report {
 			s.des.At(start, func() { s.requestLoop(f) })
 		case AIMD:
 			s.des.At(start, func() { s.aimdStart(f) })
+		case ARC:
+			s.des.At(start, func() { s.arcStart(f) })
 		}
 	}
 	// Periodic estimator ticks on every node (INRPP only).

@@ -224,6 +224,81 @@ func TestAIMDDropsAtBottleneck(t *testing.T) {
 	}
 }
 
+func TestARCTransferCompletes(t *testing.T) {
+	g := topo.Line(3)
+	s, err := New(Config{
+		Graph:     g,
+		Transport: ARC,
+		ChunkSize: 10 * units.KB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransfer(Transfer{ID: 1, Src: 0, Dst: 2, Chunks: 300}); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run(10 * time.Second)
+	if rep.DeliveredPerFlow[1] != 300 {
+		t.Fatalf("delivered = %d of 300", rep.DeliveredPerFlow[1])
+	}
+	if _, ok := rep.Completions[1]; !ok {
+		t.Fatal("ARC transfer did not complete")
+	}
+	if rep.ChunksDetoured != 0 {
+		t.Errorf("detoured = %d; ARC is single-path", rep.ChunksDetoured)
+	}
+}
+
+func TestARCDropsAtBottleneck(t *testing.T) {
+	// ARC probes with its request window: at a 20× bottleneck with a tiny
+	// drop-tail buffer it must overshoot, lose chunks and re-request them
+	// — receiver-driven pull alone does not avoid the loss custody does.
+	g := topo.New("chain")
+	g.AddNodes(3)
+	g.MustAddLink(0, 1, 100*units.Mbps, time.Millisecond)
+	g.MustAddLink(1, 2, 5*units.Mbps, time.Millisecond)
+	s, err := New(Config{
+		Graph:      g,
+		Transport:  ARC,
+		ChunkSize:  10 * units.KB,
+		QueueBytes: 50 * units.KB, // 5 chunks of buffer
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransfer(Transfer{ID: 1, Src: 0, Dst: 2, Chunks: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run(60 * time.Second)
+	if rep.ChunksDropped == 0 {
+		t.Error("ARC with tiny buffer should drop chunks")
+	}
+	if rep.Retransmits == 0 {
+		t.Error("ARC should re-request after losses")
+	}
+	if rep.DeliveredPerFlow[1] != 2000 {
+		t.Errorf("delivered = %d of 2000 despite re-requests", rep.DeliveredPerFlow[1])
+	}
+}
+
+func TestARCMultipleFlowsComplete(t *testing.T) {
+	g := topo.Star(3)
+	s, err := New(Config{Graph: g, Transport: ARC, ChunkSize: 10 * units.KB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransfer(Transfer{ID: 1, Src: 1, Dst: 2, Chunks: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransfer(Transfer{ID: 2, Src: 1, Dst: 3, Chunks: 150}); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Run(10 * time.Second)
+	if rep.DeliveredPerFlow[1] != 150 || rep.DeliveredPerFlow[2] != 150 {
+		t.Fatalf("delivered = %v", rep.DeliveredPerFlow)
+	}
+}
+
 func TestTransferValidation(t *testing.T) {
 	g := topo.New("split")
 	g.AddNodes(4)
@@ -248,7 +323,7 @@ func TestTransferValidation(t *testing.T) {
 }
 
 func TestTransportString(t *testing.T) {
-	if INRPP.String() != "INRPP" || AIMD.String() != "AIMD" {
+	if INRPP.String() != "INRPP" || AIMD.String() != "AIMD" || ARC.String() != "ARC" {
 		t.Error("transport names wrong")
 	}
 	if Transport(7).String() != "Transport(7)" {

@@ -1,0 +1,29 @@
+// Package chunknet is the chunk-level discrete-event simulator of the
+// INRPP reproduction: named chunks move over capacitated links between
+// receiver-driven endpoints, through routers that run the paper's
+// three-phase interface machinery (push-data / detour / back-pressure)
+// with custody caches, per-interface anticipated-rate estimation and
+// explicit back-pressure notifications.
+//
+// Three transports share the same links and topology, forming the
+// transport axis of the custody sweeps:
+//
+//   - INRPP — the paper's design (§3.2–3.3): receiver-driven open-loop
+//     push with in-network custody, one-hop detours and explicit
+//     back-pressure;
+//   - AIMD — a TCP-Reno-flavoured sender-driven single-path baseline
+//     with drop-tail queues, the "closed feedback loop … resource
+//     probing" design the paper argues against (§2.1);
+//   - ARC — adaptive request control: a receiver-driven baseline that
+//     runs AIMD over its request window, the way CCN/NDN
+//     interest-shaping transports probe for capacity. Pull like INRPP,
+//     end-to-end probing like AIMD — it isolates how much of INRPP's
+//     gain comes from in-network resource pooling rather than from
+//     receiver-driven pull alone.
+//
+// The simulator is single-threaded and deterministic: the same Config
+// and transfer list always produce the same Report. Sweeps over
+// transport, anticipation, custody budget and load run through
+// sweep.ChunkSpec, which adds deterministic seed-driven start jitter on
+// top.
+package chunknet

@@ -33,13 +33,18 @@ type flowState struct {
 	closedLoop bool
 	credits    int64 // closed loop: one chunk per arriving request
 
-	// AIMD sender.
+	// AIMD sender / ARC receiver congestion state. cwnd, ssthresh, dup
+	// and rto are shared: AIMD runs the loop at the sender over data,
+	// ARC at the receiver over requests; a flow only ever uses one.
 	cwnd     float64
 	ssthresh float64
 	aimdNext int64
 	lastCum  int64
 	dup      int
 	rto      *rtoTimer
+
+	// ARC receiver: requests issued but not yet answered by data.
+	arcOut int64
 }
 
 // arrive dispatches a packet that reached the far end of arc a.
@@ -164,8 +169,11 @@ func (s *Sim) deliver(p *packet) {
 		f.rateEst = 0.75*f.rateEst + 0.25*sample
 	}
 	f.lastData = now
-	if s.cfg.Transport == AIMD {
+	switch s.cfg.Transport {
+	case AIMD:
 		s.aimdAckData(f)
+	case ARC:
+		s.arcOnData(f, p.seq)
 	}
 	if f.win.Done() && !f.done {
 		f.done = true
@@ -225,8 +233,13 @@ func (s *Sim) sendRequest(f *flowState, seq int64, resend bool) {
 
 // onRequest is the INRPP sender's request handler: extend the pushed
 // horizon by the anticipation window, grant a closed-loop credit, queue
-// explicit resends, and kick the outgoing serializer.
+// explicit resends, and kick the outgoing serializer. ARC requests take
+// their own strict one-request-one-chunk path.
 func (s *Sim) onRequest(p *packet) {
+	if s.cfg.Transport == ARC {
+		s.arcOnRequest(p)
+		return
+	}
 	f := s.flows[p.flow]
 	horizon := p.seq + s.cfg.Anticipation
 	if horizon > f.tr.Chunks-1 {

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/chunknet"
 	"repro/internal/report"
-	"repro/internal/topo"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -25,7 +27,7 @@ type CustodyConfig struct {
 	EgressRate  units.BitRate
 	// Custody is the INRPP custody budget at the router (default 10GB).
 	Custody units.ByteSize
-	// Buffer is the AIMD drop-tail buffer (default 25MB, a typical
+	// Buffer is the AIMD/ARC drop-tail buffer (default 25MB, a typical
 	// BDP-scale buffer).
 	Buffer units.ByteSize
 	// ChunkSize (default 10MB — coarse, to keep paper-scale runs fast).
@@ -34,6 +36,9 @@ type CustodyConfig struct {
 	Chunks int64
 	// Horizon (default 5s).
 	Horizon time.Duration
+	// Workers bounds the sweep parallelism (default GOMAXPROCS). The
+	// outcome is identical at any worker count.
+	Workers int
 }
 
 func (c *CustodyConfig) applyDefaults() {
@@ -60,8 +65,25 @@ func (c *CustodyConfig) applyDefaults() {
 	}
 }
 
-// CustodyResult compares INRPP custody against the AIMD drop-tail
-// baseline on the same bottleneck chain.
+// Spec translates the config into the sweep.ChunkSpec recipe the
+// experiment's grid scenarios share; the transport is set per grid point.
+func (c CustodyConfig) Spec() sweep.ChunkSpec {
+	return sweep.ChunkSpec{
+		IngressRate:  c.IngressRate,
+		EgressRate:   c.EgressRate,
+		ChunkSize:    c.ChunkSize,
+		Anticipation: 4096,
+		Custody:      c.Custody,
+		Buffer:       c.Buffer,
+		Transfers:    1,
+		Chunks:       c.Chunks,
+		Horizon:      c.Horizon,
+		Ti:           50 * time.Millisecond,
+	}
+}
+
+// CustodyResult compares INRPP custody against the drop-tail baselines
+// on the same bottleneck chain.
 type CustodyResult struct {
 	// HoldSeconds is the analytic absorption horizon cache/linkRate —
 	// the quantity the paper quotes as 2 s.
@@ -69,6 +91,10 @@ type CustodyResult struct {
 
 	INRPP CustodyRun
 	AIMD  CustodyRun
+	// ARC is the receiver-driven request-control baseline: pull like
+	// INRPP, but end-to-end probing like AIMD — it isolates how much of
+	// the custody win comes from in-network storage.
+	ARC CustodyRun
 }
 
 // CustodyRun is one transport's outcome.
@@ -82,68 +108,48 @@ type CustodyRun struct {
 	ClosedLoop     int
 }
 
-// Custody runs the experiment: an aggressive push into a bottleneck,
-// once with INRPP custody+back-pressure and once with AIMD drop-tail.
+// Custody runs the experiment on the sweep engine: an aggressive push
+// into a bottleneck, once per transport on the transport axis of a
+// chunknet grid — INRPP custody+back-pressure against the AIMD and ARC
+// drop-tail baselines, all under identical offered load.
 func Custody(cfg CustodyConfig) (*CustodyResult, error) {
 	cfg.applyDefaults()
-	build := func() *topo.Graph {
-		g := topo.New("custody-chain")
-		g.AddNodes(3)
-		g.MustAddLink(0, 1, cfg.IngressRate, time.Millisecond)
-		g.MustAddLink(1, 2, cfg.EgressRate, time.Millisecond)
-		return g
+	spec := cfg.Spec()
+
+	grid := sweep.NewGrid().Axis("transport", "inrpp", "aimd", "arc")
+	scenarios := grid.Expand(0, 1, func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
+		s := spec
+		s.Transport = sweep.MustParseTransport(pt.Get("transport"))
+		return s.Run(seed)
+	})
+	results := (&sweep.Runner{Workers: cfg.Workers}).Run(context.Background(), scenarios)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("custody %w", r.Err)
+		}
 	}
 
 	res := &CustodyResult{
 		HoldSeconds: cfg.IngressRate.TransmissionTime(cfg.Custody).Seconds(),
 	}
-
-	// INRPP: custody + back-pressure, no drops expected.
-	s, err := chunknet.New(chunknet.Config{
-		Graph:              build(),
-		Transport:          chunknet.INRPP,
-		ChunkSize:          cfg.ChunkSize,
-		Anticipation:       4096,
-		CustodyBytes:       cfg.Custody,
-		InitialRequestRate: cfg.IngressRate,
-		Ti:                 50 * time.Millisecond,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := s.AddTransfer(chunknet.Transfer{ID: 1, Src: 0, Dst: 2, Chunks: cfg.Chunks}); err != nil {
-		return nil, err
-	}
-	rep := s.Run(cfg.Horizon)
-	res.INRPP = CustodyRun{
-		Delivered:      rep.DeliveredPerFlow[1],
-		Dropped:        rep.ChunksDropped,
-		Retransmits:    rep.Retransmits,
-		CustodyPeak:    rep.CustodyPeak,
-		MeanResidencyS: rep.CustodyResidency.Mean(),
-		Backpressure:   rep.BackpressureOn,
-		ClosedLoop:     rep.ClosedLoopEntries,
-	}
-
-	// AIMD: same chain, drop-tail buffer.
-	s, err = chunknet.New(chunknet.Config{
-		Graph:      build(),
-		Transport:  chunknet.AIMD,
-		ChunkSize:  cfg.ChunkSize,
-		QueueBytes: cfg.Buffer,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := s.AddTransfer(chunknet.Transfer{ID: 1, Src: 0, Dst: 2, Chunks: cfg.Chunks}); err != nil {
-		return nil, err
-	}
-	rep = s.Run(cfg.Horizon)
-	res.AIMD = CustodyRun{
-		Delivered:   rep.DeliveredPerFlow[1],
-		Dropped:     rep.ChunksDropped,
-		Retransmits: rep.Retransmits,
-		CustodyPeak: rep.CustodyPeak,
+	for _, a := range sweep.Aggregated(results) {
+		run := CustodyRun{
+			Delivered:      int64(a.Mean("delivered")),
+			Dropped:        int64(a.Mean("dropped")),
+			Retransmits:    int64(a.Mean("retransmits")),
+			CustodyPeak:    units.ByteSize(a.Mean("custody_peak_bytes")),
+			MeanResidencyS: a.Mean("residency_mean_s"),
+			Backpressure:   int(a.Mean("backpressure")),
+			ClosedLoop:     int(a.Mean("closed_loop")),
+		}
+		switch sweep.MustParseTransport(a.Point.Get("transport")) {
+		case chunknet.INRPP:
+			res.INRPP = run
+		case chunknet.AIMD:
+			res.AIMD = run
+		case chunknet.ARC:
+			res.ARC = run
+		}
 	}
 	return res, nil
 }
@@ -161,5 +167,8 @@ func CustodyReport(r *CustodyResult) *report.Table {
 	t.AddRow("AIMD delivered", "", report.F3(float64(r.AIMD.Delivered)), "", "chunks")
 	t.AddRow("AIMD drops", "", report.F3(float64(r.AIMD.Dropped)), "", "chunks")
 	t.AddRow("AIMD retransmits", "", report.F3(float64(r.AIMD.Retransmits)), "", "")
+	t.AddRow("ARC delivered", "", report.F3(float64(r.ARC.Delivered)), "", "chunks")
+	t.AddRow("ARC drops", "", report.F3(float64(r.ARC.Dropped)), "", "chunks")
+	t.AddRow("ARC re-requests", "", report.F3(float64(r.ARC.Retransmits)), "", "")
 	return t
 }

@@ -1,0 +1,15 @@
+// Package experiments contains one harness per evaluation artifact of the
+// paper: Table 1 (detour availability), Figure 4a (network throughput),
+// Figure 4b (path stretch CDF), the Figure 3 fairness example and the
+// §3.3 custody/back-pressure claim. Each harness returns structured
+// results carrying both the paper's published numbers and our measured
+// ones, so cmd/experiments and the benchmarks can print paper-vs-measured
+// tables directly.
+//
+// The multi-scenario harnesses (Fig4, Custody) run on the sweep engine:
+// their grids expand into scenarios with deterministic per-scenario
+// seeds and execute on all cores, so results are identical at any worker
+// count. Fig4 pairs the workload seed across the policy axis; Custody
+// compares the INRPP, AIMD and ARC transports on the same bottleneck
+// chain under identical offered load.
+package experiments

@@ -1,10 +1,3 @@
-// Package experiments contains one harness per evaluation artifact of the
-// paper: Table 1 (detour availability), Figure 4a (network throughput),
-// Figure 4b (path stretch CDF), the Figure 3 fairness example and the
-// §3.3 custody/back-pressure claim. Each harness returns structured
-// results carrying both the paper's published numbers and our measured
-// ones, so cmd/experiments and the benchmarks can print paper-vs-measured
-// tables directly.
 package experiments
 
 import (

@@ -1,0 +1,261 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrNotRun marks a scenario with no checkpointed result yet. Results
+// returned by LoadCheckpoint carry it for every scenario absent from the
+// file, so Runner.Resume executes exactly those.
+var ErrNotRun = errors.New("sweep: scenario not yet run")
+
+// CheckpointRecord is the stable JSONL shape of one checkpointed result:
+// the scenario identity (name, point, replica, seed) plus its metrics.
+// Only successful results are persisted — an errored scenario must re-run
+// after a restart, and deterministically produces the same outcome.
+type CheckpointRecord struct {
+	Name    string               `json:"name"`
+	Point   Point                `json:"point"`
+	Replica int                  `json:"replica"`
+	Seed    int64                `json:"seed"`
+	Values  map[string]float64   `json:"values,omitempty"`
+	Samples map[string][]float64 `json:"samples,omitempty"`
+}
+
+// checkpointHeader is the optional first line of a checkpoint file: a
+// label binding the file to the sweep configuration that produced it.
+// Scenario names and seeds already pin the grid axes and master seed;
+// the label pins everything else (link rates, buffer sizes, horizons …)
+// that changes the physics without changing a scenario's name.
+type checkpointHeader struct {
+	Sweep string `json:"sweep"`
+}
+
+// Checkpoint streams successful results to a JSONL file as scenarios
+// complete, so a killed process — not just a cancelled context — can
+// restart from disk. Each Record is one line, written and flushed
+// atomically with respect to the file offset (O_APPEND), so a SIGKILL
+// can at worst tear the final line; LoadCheckpoint tolerates torn lines.
+// Methods are safe for concurrent use from the runner's workers.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	err  error // first write error, surfaced by Close
+	path string
+}
+
+// NewCheckpoint opens (creating or appending to) the checkpoint file at
+// path. A non-empty label is written as the file's header line on
+// creation and verified against an existing file's header — resuming
+// under a different label (a changed non-axis parameter) fails here
+// rather than silently mixing two physically different sweeps. When
+// appending after a kill, a torn final line is first terminated so new
+// records cannot glue onto it.
+func NewCheckpoint(path, label string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open checkpoint: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: stat checkpoint: %w", err)
+	}
+	switch {
+	case st.Size() == 0:
+		if label != "" {
+			line, err := json.Marshal(checkpointHeader{Sweep: label})
+			if err == nil {
+				_, err = f.Write(append(line, '\n'))
+			}
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("sweep: write checkpoint header: %w", err)
+			}
+		}
+	default:
+		if err := checkHeader(f, path, label); err != nil {
+			f.Close()
+			return nil, err
+		}
+		// A SIGKILL mid-write leaves a torn, unterminated final line;
+		// terminate it so the next Record starts on a fresh line instead
+		// of gluing itself (and the torn tail) into one unparseable line.
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], st.Size()-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: read checkpoint tail: %w", err)
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("sweep: terminate torn checkpoint line: %w", err)
+			}
+		}
+	}
+	return &Checkpoint{f: f, path: path}, nil
+}
+
+// checkHeader verifies a non-empty file's header line against the
+// expected label. Files written without a label (label == "" on both
+// sides) have no header; expecting a label from a headerless file — or
+// finding a different one — is an error.
+func checkHeader(f *os.File, path, label string) error {
+	first, err := bufio.NewReader(io.NewSectionReader(f, 0, 1<<20)).ReadString('\n')
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("sweep: read checkpoint header: %w", err)
+	}
+	var hdr checkpointHeader
+	if json.Unmarshal([]byte(first), &hdr) != nil {
+		// The first line is torn (the writer died mid-header); no record
+		// can follow it, so the file is effectively empty and carries no
+		// label to verify.
+		return nil
+	}
+	if hdr.Sweep == label {
+		return nil
+	}
+	if hdr.Sweep == "" {
+		return fmt.Errorf("sweep: checkpoint %s has no config label, expected %q", path, label)
+	}
+	if label == "" {
+		return fmt.Errorf("sweep: checkpoint %s is labelled %q, expected none", path, hdr.Sweep)
+	}
+	return fmt.Errorf("sweep: checkpoint %s was recorded under config %q, not %q", path, hdr.Sweep, label)
+}
+
+// Path returns the checkpoint file's path.
+func (c *Checkpoint) Path() string { return c.path }
+
+// Record persists one result. Errored results are skipped (they must
+// re-run after a restart). The line is flushed to the OS before Record
+// returns, so a subsequent kill cannot lose it.
+func (c *Checkpoint) Record(r Result) error {
+	if r.Err != nil {
+		return nil
+	}
+	line, err := json.Marshal(CheckpointRecord{
+		Name:    r.Name,
+		Point:   r.Point,
+		Replica: r.Replica,
+		Seed:    r.Seed,
+		Values:  r.Metrics.Values,
+		Samples: r.Metrics.Samples,
+	})
+	if err != nil {
+		return fmt.Errorf("sweep: marshal checkpoint record: %w", err)
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if _, err := c.f.Write(line); err != nil {
+		c.err = fmt.Errorf("sweep: write checkpoint: %w", err)
+		return c.err
+	}
+	return nil
+}
+
+// Progress adapts the checkpoint into a Runner progress callback that
+// records each completed scenario and then invokes next (when non-nil).
+// Write errors are remembered and surfaced by Close — a sweep should not
+// die because its checkpoint disk filled, it just loses resumability.
+func (c *Checkpoint) Progress(next Progress) Progress {
+	return func(done, total int, r Result) {
+		c.Record(r) //nolint:errcheck — remembered in c.err for Close
+		if next != nil {
+			next(done, total, r)
+		}
+	}
+}
+
+// Close closes the file and reports the first write error, if any.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.f.Close(); err != nil && c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// LoadCheckpoint reads a checkpoint file and aligns its records to the
+// given scenario list, returning one Result per scenario in scenario
+// order: checkpointed scenarios carry their persisted metrics, the rest
+// carry ErrNotRun — exactly the shape Runner.Resume patches. The second
+// return is the number of scenarios restored.
+//
+// The file may be from a process killed mid-write (a torn final line is
+// skipped) and may hold records in any completion order. Three checks
+// keep foreign checkpoints out: records naming an unknown scenario
+// (different grid), records disagreeing with the scenario's derived seed
+// (different master seed), and a header label differing from the given
+// label (different non-axis configuration — see NewCheckpoint) all fail
+// loudly rather than silently mixing sweeps. A missing file is not an
+// error — it loads zero scenarios, so "always resume" scripts work on
+// first run.
+func LoadCheckpoint(path, label string, scenarios []Scenario) ([]Result, int, error) {
+	results := make([]Result, len(scenarios))
+	index := make(map[string]int, len(scenarios))
+	for i, sc := range scenarios {
+		results[i] = Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrNotRun}
+		index[sc.Name] = i
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return results, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("sweep: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := checkHeader(f, path, label); err != nil {
+		return nil, 0, err
+	}
+
+	loaded := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1024*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var hdr checkpointHeader
+		if json.Unmarshal(line, &hdr) == nil && hdr.Sweep != "" {
+			continue // the header line, already verified above
+		}
+		var rec CheckpointRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn line from a killed writer; the scenario it would
+			// have recorded simply re-runs.
+			continue
+		}
+		i, ok := index[rec.Name]
+		if !ok {
+			return nil, 0, fmt.Errorf("sweep: checkpoint %s records unknown scenario %q (different grid?)", path, rec.Name)
+		}
+		if rec.Seed != scenarios[i].Seed {
+			return nil, 0, fmt.Errorf("sweep: checkpoint %s scenario %q has seed %d, grid derives %d (different master seed?)",
+				path, rec.Name, rec.Seed, scenarios[i].Seed)
+		}
+		if results[i].Err == nil {
+			continue // duplicate record (recorded again after a resume); first wins
+		}
+		results[i].Metrics = Metrics{Values: rec.Values, Samples: rec.Samples}
+		results[i].Err = nil
+		loaded++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("sweep: read checkpoint: %w", err)
+	}
+	return results, loaded, nil
+}

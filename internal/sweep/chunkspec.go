@@ -1,0 +1,221 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/chunknet"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// ChunkSpec describes one chunk-level simulation scenario on the custody
+// bottleneck chain: src →(ingress)→ router →(egress)→ receiver, the
+// topology of the §3.3 custody/back-pressure experiment. It is the
+// chunknet analogue of FlowSpec — build the spec (typically varying
+// Transport, Anticipation, Custody and Transfers along grid axes), then
+// call Run for a sweep scenario body or Simulate for a one-off run with
+// the full chunknet.Report.
+type ChunkSpec struct {
+	// Transport selects the protocol stack (INRPP, AIMD or ARC).
+	Transport chunknet.Transport
+	// IngressRate and EgressRate set the bottleneck chain's link rates.
+	// Defaults: 40Gbps → 2Gbps, the paper's §3.3 sizing example.
+	IngressRate units.BitRate
+	EgressRate  units.BitRate
+	// ChunkSize is the data chunk size (default 10MB — coarse, to keep
+	// paper-scale runs fast).
+	ChunkSize units.ByteSize
+	// Anticipation is the INRPP Ac window in chunks (default 4096).
+	Anticipation int64
+	// Custody is the INRPP custody budget at the router (default 10GB).
+	// AIMD and ARC never get custody: their store is Buffer alone.
+	Custody units.ByteSize
+	// Buffer is the drop-tail queue budget for AIMD/ARC (default 25MB, a
+	// BDP-scale buffer). INRPP keeps the chunknet default queue and adds
+	// Custody on top, matching the original custody experiment.
+	Buffer units.ByteSize
+	// Transfers is the number of concurrent transfers pushed through the
+	// chain — the load axis (default 1).
+	Transfers int
+	// Chunks per transfer (default 2000 = 20GB offered at the defaults).
+	Chunks int64
+	// StartSpread jitters the start times of transfers beyond the first
+	// uniformly over [0, StartSpread), from the scenario seed (default
+	// 100ms). The first transfer always starts at 0, so single-transfer
+	// scenarios are seed-independent.
+	StartSpread time.Duration
+	// Horizon bounds each run's virtual time (default 5s).
+	Horizon time.Duration
+	// Ti is the INRPP estimator interval (default 50ms at this scale).
+	Ti time.Duration
+	// RTO is the AIMD/ARC retransmission timeout (0 keeps the chunknet
+	// default).
+	RTO time.Duration
+}
+
+func (s *ChunkSpec) applyDefaults() {
+	if s.IngressRate == 0 {
+		s.IngressRate = 40 * units.Gbps
+	}
+	if s.EgressRate == 0 {
+		s.EgressRate = 2 * units.Gbps
+	}
+	if s.ChunkSize == 0 {
+		s.ChunkSize = 10 * units.MB
+	}
+	if s.Anticipation == 0 {
+		s.Anticipation = 4096
+	}
+	if s.Custody == 0 {
+		s.Custody = 10 * units.GB
+	}
+	if s.Buffer == 0 {
+		s.Buffer = 25 * units.MB
+	}
+	if s.Transfers == 0 {
+		s.Transfers = 1
+	}
+	if s.Chunks == 0 {
+		s.Chunks = 2000
+	}
+	if s.StartSpread == 0 {
+		s.StartSpread = 100 * time.Millisecond
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 5 * time.Second
+	}
+	if s.Ti == 0 {
+		s.Ti = 50 * time.Millisecond
+	}
+}
+
+// Graph builds the spec's bottleneck chain.
+func (s ChunkSpec) Graph() *topo.Graph {
+	g := topo.New("custody-chain")
+	g.AddNodes(3)
+	g.MustAddLink(0, 1, s.IngressRate, time.Millisecond)
+	g.MustAddLink(1, 2, s.EgressRate, time.Millisecond)
+	return g
+}
+
+// Simulate runs the spec once with the given seed and returns the full
+// chunknet report. The seed only drives transfer start jitter, so two
+// transports at the same seed see identical offered load.
+func (s ChunkSpec) Simulate(seed int64) (*chunknet.Report, error) {
+	s.applyDefaults()
+	cfg := chunknet.Config{
+		Graph:        s.Graph(),
+		Transport:    s.Transport,
+		ChunkSize:    s.ChunkSize,
+		Anticipation: s.Anticipation,
+		Ti:           s.Ti,
+		RTO:          s.RTO,
+	}
+	if s.Transport == chunknet.INRPP {
+		cfg.CustodyBytes = s.Custody
+		cfg.InitialRequestRate = s.IngressRate
+	} else {
+		cfg.QueueBytes = s.Buffer
+	}
+	sim, err := chunknet.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < s.Transfers; i++ {
+		var start time.Duration
+		if i > 0 {
+			start = time.Duration(rng.Int63n(int64(s.StartSpread)))
+		}
+		if err := sim.AddTransfer(chunknet.Transfer{
+			ID: i + 1, Src: 0, Dst: 2, Chunks: s.Chunks, Start: start,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return sim.Run(s.Horizon), nil
+}
+
+// Run returns a RunFunc executing the spec with the given seed, for use
+// as a Scenario body. Defaults are resolved once here, so Simulate and
+// ChunkMetrics see the same effective spec.
+func (s ChunkSpec) Run(seed int64) RunFunc {
+	s.applyDefaults()
+	return func(ctx context.Context) (Metrics, error) {
+		if err := ctx.Err(); err != nil {
+			return Metrics{}, err
+		}
+		rep, err := s.Simulate(seed)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return ChunkMetrics(rep, s), nil
+	}
+}
+
+// ParseTransport maps a transport-axis value to its chunknet transport,
+// case-insensitively — the one decoder for every sweep with a transport
+// axis.
+func ParseTransport(s string) (chunknet.Transport, error) {
+	switch strings.ToLower(s) {
+	case "inrpp":
+		return chunknet.INRPP, nil
+	case "aimd":
+		return chunknet.AIMD, nil
+	case "arc":
+		return chunknet.ARC, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown transport %q (known: inrpp, aimd, arc)", s)
+}
+
+// MustParseTransport is ParseTransport for grid-axis values already
+// validated at grid construction.
+func MustParseTransport(s string) chunknet.Transport {
+	t, err := ParseTransport(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ChunkMetrics converts a chunknet report into sweep metrics. Scalars
+// cover the custody experiment's headline numbers; the "completion_s"
+// sample set pools per-transfer completion times for CDF summaries.
+// Custody and back-pressure metrics are only emitted under INRPP, where
+// they exist.
+func ChunkMetrics(rep *chunknet.Report, spec ChunkSpec) Metrics {
+	m := NewMetrics()
+	var delivered int64
+	for _, n := range rep.DeliveredPerFlow {
+		delivered += n
+	}
+	offered := int64(spec.Transfers) * spec.Chunks
+	m.Set("delivered", float64(delivered))
+	if offered > 0 {
+		m.Set("delivered_share", float64(delivered)/float64(offered))
+	}
+	m.Set("dropped", float64(rep.ChunksDropped))
+	m.Set("retransmits", float64(rep.Retransmits))
+	m.Set("completed", float64(len(rep.Completions)))
+	m.Set("goodput_gbps",
+		float64(delivered)*spec.ChunkSize.Bits()/rep.Duration.Seconds()/1e9)
+	// Iterate IDs in order: ranging over the map would record samples in
+	// nondeterministic order and break byte-identical checkpoints.
+	for id := 1; id <= spec.Transfers; id++ {
+		if fct, ok := rep.Completions[id]; ok {
+			m.AddSamples("completion_s", fct.Seconds())
+		}
+	}
+	if rep.Transport == chunknet.INRPP {
+		m.Set("custody_peak_bytes", float64(rep.CustodyPeak))
+		m.Set("residency_mean_s", rep.CustodyResidency.Mean())
+		m.Set("backpressure", float64(rep.BackpressureOn))
+		m.Set("closed_loop", float64(rep.ClosedLoopEntries))
+		m.Set("detoured", float64(rep.ChunksDetoured))
+	}
+	return m
+}

@@ -1,0 +1,36 @@
+// Package sweep is the scenario-sweep engine behind the repo's parameter
+// studies: it expands parameter grids (topology × policy × load × seed
+// replicas …) into scenario lists with deterministic per-scenario seeds,
+// executes them on a bounded worker pool with cancellation and per-scenario
+// error capture, and aggregates replica metrics into mean/stddev/percentile
+// summaries rendered through internal/report.
+//
+// The engine is built around four guarantees:
+//
+//   - Determinism: a scenario's seed is a hash of its parameter point and
+//     replica index — never a shared RNG, never dependent on execution
+//     order — so the same grid and master seed produce byte-identical
+//     aggregated output at any worker count, including after a mid-sweep
+//     cancel and resume.
+//   - Isolation: one failed (or panicking) scenario is captured in its
+//     Result and must never kill the sweep.
+//   - Order independence: results are reported in scenario order regardless
+//     of which worker finished first.
+//   - Durability: a Checkpoint streams completed results to a JSONL file
+//     as they finish, and LoadCheckpoint aligns that file back onto a
+//     freshly expanded scenario list — so even a SIGKILLed process can
+//     restart, run only what is missing, and emit the same bytes as an
+//     uninterrupted run.
+//
+// Two scenario constructors cover the repo's simulators: FlowSpec builds
+// flow-level scenarios (the Figure 4 recipe: ISP topology + Poisson
+// workload + routing policy), and ChunkSpec builds chunk-level scenarios
+// on the custody bottleneck chain (the §3.3 recipe: INRPP/AIMD/ARC
+// transport + anticipation + custody budget + concurrent-transfer load).
+// Both derive everything from the scenario seed, so grid axes that
+// exclude the comparison dimension (Grid.SeedAxes) measure every
+// alternative under identical load.
+//
+// See ARCHITECTURE.md at the repo root for the layer map and the data
+// flow of a sweep run.
+package sweep

@@ -1,0 +1,54 @@
+package sweep_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/sweep"
+)
+
+// ExampleGrid_Expand shows the documented sweep entry points end to end:
+// expand a grid into deterministically seeded scenarios, run them on a
+// worker pool, and render the aggregated replica metrics. The output is
+// byte-identical at any worker count.
+func ExampleGrid_Expand() {
+	// Two axes; the seed is derived from the load axis alone, so both
+	// policies are measured under the same (synthetic) workload.
+	grid := sweep.NewGrid().
+		Axis("load", "10", "20").
+		Axis("policy", "sp", "inrp").
+		SeedAxes("load")
+
+	scenarios := grid.Expand(1, 2, func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
+		return func(ctx context.Context) (sweep.Metrics, error) {
+			// A real sweep would run a simulator here, seeded with seed;
+			// this stand-in derives a deterministic "throughput".
+			load, _ := strconv.Atoi(pt.Get("load"))
+			bonus := 0.0
+			if pt.Get("policy") == "inrp" {
+				bonus = 5
+			}
+			m := sweep.NewMetrics()
+			m.Set("throughput", float64(load)+bonus+float64(replica))
+			return m, nil
+		}
+	})
+
+	runner := &sweep.Runner{Workers: 4}
+	results := runner.Run(context.Background(), scenarios)
+
+	aggs := sweep.Aggregated(results)
+	if err := sweep.Table("example sweep", aggs, "throughput").Render(os.Stdout); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// example sweep
+	// load  policy  replicas  throughput
+	// -------------------------------------
+	// 10    sp      2         10.500 ±0.707
+	// 10    inrp    2         15.500 ±0.707
+	// 20    sp      2         20.500 ±0.707
+	// 20    inrp    2         25.500 ±0.707
+}

@@ -1,21 +1,3 @@
-// Package sweep is the scenario-sweep engine behind the repo's parameter
-// studies: it expands parameter grids (topology × policy × load × seed
-// replicas …) into scenario lists with deterministic per-scenario seeds,
-// executes them on a bounded worker pool with cancellation and per-scenario
-// error capture, and aggregates replica metrics into mean/stddev/percentile
-// summaries rendered through internal/report.
-//
-// The engine is built around three guarantees:
-//
-//   - Determinism: a scenario's seed is a hash of its parameter point and
-//     replica index — never a shared RNG, never dependent on execution
-//     order — so the same grid and master seed produce byte-identical
-//     aggregated output at any worker count, including after a mid-sweep
-//     cancel and resume.
-//   - Isolation: one failed (or panicking) scenario is captured in its
-//     Result and must never kill the sweep.
-//   - Order independence: results are reported in scenario order regardless
-//     of which worker finished first.
 package sweep
 
 import (
@@ -28,10 +10,11 @@ import (
 	"time"
 )
 
-// Param is one named parameter value of a scenario point.
+// Param is one named parameter value of a scenario point. The JSON shape
+// is part of the checkpoint file format.
 type Param struct {
-	Key   string
-	Value string
+	Key   string `json:"key"`
+	Value string `json:"value"`
 }
 
 // Point is an ordered list of parameters identifying one cell of a sweep

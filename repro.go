@@ -81,6 +81,12 @@ type (
 	// FlowSweepSpec is the reusable flow-level scenario recipe (topology +
 	// workload + policy).
 	FlowSweepSpec = sweep.FlowSpec
+	// ChunkSweepSpec is the reusable chunk-level scenario recipe (custody
+	// bottleneck chain + transport).
+	ChunkSweepSpec = sweep.ChunkSpec
+	// SweepCheckpoint streams completed scenario results to a JSONL file
+	// so a killed sweep can resume from disk.
+	SweepCheckpoint = sweep.Checkpoint
 )
 
 // Common rate and size constants.
@@ -104,6 +110,7 @@ const (
 const (
 	INRPP = chunknet.INRPP
 	AIMD  = chunknet.AIMD
+	ARC   = chunknet.ARC
 )
 
 // ISPs lists the nine Table 1 topologies.
@@ -140,10 +147,40 @@ func DeriveSweepSeed(master int64, key string, replica int) int64 {
 	return sweep.DeriveSeed(master, key, replica)
 }
 
+// ParseChunkTransport maps "inrpp"/"aimd"/"arc" (any case) to a chunk
+// transport.
+func ParseChunkTransport(s string) (chunknet.Transport, error) { return sweep.ParseTransport(s) }
+
+// MustParseChunkTransport is ParseChunkTransport for known-good axis
+// values.
+func MustParseChunkTransport(s string) chunknet.Transport { return sweep.MustParseTransport(s) }
+
 // RunSweep executes scenarios on a worker pool (workers ≤ 0 means
 // GOMAXPROCS). Results come back in scenario order at any worker count.
 func RunSweep(ctx context.Context, workers int, scenarios []SweepScenario) []SweepResult {
 	return (&sweep.Runner{Workers: workers}).Run(ctx, scenarios)
+}
+
+// ResumeSweep re-executes exactly the scenarios whose prior result
+// carries an error (a cancelled run, or ErrNotRun placeholders from
+// LoadSweepCheckpoint) and returns the patched result set.
+func ResumeSweep(ctx context.Context, workers int, scenarios []SweepScenario, prior []SweepResult) []SweepResult {
+	return (&sweep.Runner{Workers: workers}).Resume(ctx, scenarios, prior)
+}
+
+// NewSweepCheckpoint opens (or appends to) a JSONL sweep checkpoint. A
+// non-empty label binds the file to the sweep's non-axis configuration;
+// reopening under a different label fails.
+func NewSweepCheckpoint(path, label string) (*SweepCheckpoint, error) {
+	return sweep.NewCheckpoint(path, label)
+}
+
+// LoadSweepCheckpoint aligns a checkpoint file to a scenario list: one
+// result per scenario, restored from disk or marked not-yet-run for
+// ResumeSweep to execute. Files from a different grid, master seed or
+// config label are rejected.
+func LoadSweepCheckpoint(path, label string, scenarios []SweepScenario) ([]SweepResult, int, error) {
+	return sweep.LoadCheckpoint(path, label, scenarios)
 }
 
 // AggregateSweep groups results by grid point and accumulates replica

@@ -3,6 +3,7 @@ package repro
 import (
 	"bytes"
 	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -103,6 +104,61 @@ func TestSweepFacade(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Error("empty CSV/JSON output")
+	}
+}
+
+// TestChunkSweepFacade drives a chunknet grid with checkpoint/resume
+// through the public API only.
+func TestChunkSweepFacade(t *testing.T) {
+	grid := NewSweepGrid().Axis("transport", "inrpp", "aimd", "arc")
+	scenarios := grid.Expand(1, 1, func(pt SweepPoint, replica int, seed int64) SweepRunFunc {
+		spec := ChunkSweepSpec{
+			Transport:    MustParseChunkTransport(pt.Get("transport")),
+			IngressRate:  100 * Mbps,
+			EgressRate:   20 * Mbps,
+			ChunkSize:    50 * KB,
+			Anticipation: 64,
+			Custody:      10 * MB,
+			Buffer:       500 * KB,
+			Chunks:       100,
+			Horizon:      2 * time.Second,
+		}
+		return spec.Run(seed)
+	})
+	const label = "facade chunk demo"
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := NewSweepCheckpoint(path, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &SweepRunner{Workers: 2, Progress: cp.Progress(nil)}
+	results := runner.Run(context.Background(), scenarios)
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Metrics.Values["delivered"] <= 0 {
+			t.Errorf("%s delivered nothing", r.Name)
+		}
+	}
+	loaded, n, err := LoadSweepCheckpoint(path, label, scenarios)
+	if err != nil || n != len(scenarios) {
+		t.Fatalf("LoadSweepCheckpoint: n=%d err=%v", n, err)
+	}
+	resumed := ResumeSweep(context.Background(), 2, scenarios, loaded)
+	a, b := AggregateSweep(results), AggregateSweep(resumed)
+	var liveBuf, restoredBuf bytes.Buffer
+	if err := SweepJSON(&liveBuf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := SweepJSON(&restoredBuf, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveBuf.Bytes(), restoredBuf.Bytes()) {
+		t.Error("restored aggregate differs from live run")
 	}
 }
 

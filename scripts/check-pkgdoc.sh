@@ -1,0 +1,12 @@
+#!/bin/sh
+# check-pkgdoc.sh — the CI docs gate: fail if any internal package (or the
+# root package) is missing a package-level godoc comment.
+set -eu
+
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' . ./internal/... | grep . || true)
+if [ -n "$missing" ]; then
+    echo "packages missing a package comment (add a doc.go):"
+    echo "$missing"
+    exit 1
+fi
+echo "package comments: ok"
