@@ -27,10 +27,22 @@
 // disk and executes only the rest, so a killed process (SIGKILL included)
 // finishes with output byte-identical to an uninterrupted run.
 //
+// A grid can be split across machines: -shard i/n (0-based) runs only the
+// i-th slice of a deterministic n-way partition of the expanded grid,
+// writing a standard checkpoint, and -merge file1,file2,... combines the
+// collected shard checkpoints — validating that they come from the same
+// grid, master seed and configuration, rejecting overlaps, and reporting
+// missing scenarios — into output byte-identical to an unsharded run:
+//
+//	hostA$ sweep -mode chunk -shard 0/2 -checkpoint a.jsonl
+//	hostB$ sweep -mode chunk -shard 1/2 -checkpoint b.jsonl
+//	hostA$ sweep -mode chunk -merge a.jsonl,b.jsonl
+//
 // The workload seed at each grid point is derived from the point minus
 // the comparison axis (policy in flow mode; transport/ac/custody in chunk
 // mode), so alternatives are measured under identical load; output is
-// byte-identical for the same grid and seed at any -workers value.
+// byte-identical for the same grid and seed at any -workers value and —
+// after -merge — at any -shard count.
 package main
 
 import (
@@ -58,6 +70,8 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	checkpointPath := flag.String("checkpoint", "", "stream completed scenarios to this JSONL file")
 	resume := flag.Bool("resume", false, "restore completed scenarios from -checkpoint, run only the rest")
+	shardStr := flag.String("shard", "", "run only shard i/n of the grid (0-based, e.g. 0/3); combine shard checkpoints with -merge")
+	mergeList := flag.String("merge", "", "merge shard checkpoint files (comma-separated JSONL paths) instead of running")
 
 	// Flow-mode axes and workload shape.
 	ispList := flag.String("isps", string(topo.Tiscali), "flow: comma-separated ISP topologies")
@@ -112,7 +126,30 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q (known: flow, chunk)", *mode))
 	}
 
-	runner := &sweep.Runner{Workers: *workers}
+	var shard sweep.Shard
+	if *shardStr != "" {
+		var err error
+		if shard, err = sweep.ParseShard(*shardStr); err != nil {
+			fatal(err)
+		}
+	}
+
+	// -merge: no scenario runs; combine collected shard checkpoints into
+	// the full result set and render it. Title and bytes must match an
+	// unsharded run exactly, so the rendering path below is shared.
+	if *mergeList != "" {
+		if *shardStr != "" || *checkpointPath != "" || *resume {
+			fatal(fmt.Errorf("-merge cannot be combined with -shard, -checkpoint or -resume"))
+		}
+		results, err := sweep.MergeCheckpoints(label, scenarios, split(*mergeList)...)
+		if err != nil {
+			fatal(err)
+		}
+		render(*format, *metricsList, title(scenarios, *replicas, *seed, sweep.Shard{}), results)
+		return
+	}
+
+	runner := &sweep.Runner{Workers: *workers, Shard: shard}
 	if !*quiet {
 		runner.Progress = func(done, total int, r sweep.Result) {
 			status := "ok"
@@ -132,7 +169,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "sweep: restored %d/%d scenarios from %s\n", n, len(scenarios), *checkpointPath)
+		fmt.Fprintf(os.Stderr, "sweep: restored %d/%d scenarios from %s\n",
+			n, len(shard.Select(scenarios)), *checkpointPath)
 		prior = loaded
 	}
 	var cp *sweep.Checkpoint
@@ -155,23 +193,48 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: checkpoint: %v\n", err)
 		}
 	}
+	failed := 0
 	for _, i := range sweep.Errored(results) {
+		if sweep.Skipped(results[i]) {
+			continue // another shard's scenario, not a failure here
+		}
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", results[i].Err)
+		failed++
 	}
 
+	render(*format, *metricsList, title(scenarios, *replicas, *seed, shard), results)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios failed\n", failed, len(shard.Select(scenarios)))
+		os.Exit(1)
+	}
+}
+
+// title renders the table heading. A sharded run labels itself and its
+// slice size; merged and unsharded runs must produce identical bytes, so
+// they share the zero-shard form.
+func title(scenarios []sweep.Scenario, replicas int, seed int64, shard sweep.Shard) string {
+	rep := replicas
+	if rep < 1 {
+		rep = 1 // mirrors Grid.Expand's floor
+	}
+	// Points counted from the scenario list, not grid.Size(): chunk
+	// mode collapses redundant baseline cells after expansion.
+	base := fmt.Sprintf("Scenario sweep — %d scenarios, %d points, seed %d",
+		len(scenarios), len(scenarios)/rep, seed)
+	if shard.Count <= 1 {
+		return base
+	}
+	return fmt.Sprintf("%s — shard %s (%d scenarios here)",
+		base, shard, len(shard.Select(scenarios)))
+}
+
+// render writes the aggregated results in the requested format.
+func render(format, metricsList, tableTitle string, results []sweep.Result) {
 	aggs := sweep.Aggregated(results)
-	metrics := split(*metricsList)
-	switch *format {
+	metrics := split(metricsList)
+	switch format {
 	case "table":
-		rep := *replicas
-		if rep < 1 {
-			rep = 1 // mirrors Grid.Expand's floor
-		}
-		// Points counted from the scenario list, not grid.Size(): chunk
-		// mode collapses redundant baseline cells after expansion.
-		title := fmt.Sprintf("Scenario sweep — %d scenarios, %d points, seed %d",
-			len(scenarios), len(scenarios)/rep, *seed)
-		if err := sweep.Table(title, aggs, metrics...).Render(os.Stdout); err != nil {
+		if err := sweep.Table(tableTitle, aggs, metrics...).Render(os.Stdout); err != nil {
 			fatal(err)
 		}
 	case "csv":
@@ -183,11 +246,7 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fatal(fmt.Errorf("unknown format %q (known: table, csv, json)", *format))
-	}
-	if n := len(sweep.Errored(results)); n > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios failed\n", n, len(results))
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown format %q (known: table, csv, json)", format))
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"os/exec"
 	"path/filepath"
 	"regexp"
@@ -175,6 +176,102 @@ func TestFlowSweepCheckpointResume(t *testing.T) {
 	if !strings.Contains(errOut, "restored 4/4") {
 		t.Errorf("expected full restore, stderr:\n%s", errOut)
 	}
+}
+
+// shardGridArgs is a chunk grid for the distributed e2e: 8 scenarios of
+// ~0.4s each, so a SIGKILL lands mid-shard with -workers 1 but the whole
+// test stays in seconds.
+func shardGridArgs() []string {
+	return []string{
+		"-mode", "chunk",
+		"-transports", "inrpp,aimd",
+		"-anticipations", "512",
+		"-custody", "50MB",
+		"-transfers", "1,2",
+		"-ingress", "2Gbps", "-egress", "1Gbps",
+		"-chunksize", "10KB", "-chunks", "80000",
+		"-buffer", "1MB",
+		"-horizon", "8s",
+		"-replicas", "2",
+		"-seed", "11",
+	}
+}
+
+// TestSweepShardMerge is the end-to-end distributed guarantee: a grid
+// split into 3 shards — one of them SIGKILLed mid-run and resumed from
+// its checkpoint — merges to table/CSV/JSON output byte-identical to an
+// unsharded run, and -merge fails loudly on incomplete, overlapping and
+// foreign shard sets.
+func TestSweepShardMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process shard/merge run")
+	}
+	bin := buildSweep(t)
+	dir := t.TempDir()
+
+	// Golden, unsharded run (checkpointed so CSV/JSON render from a pure
+	// restore instead of re-simulating).
+	goldenCP := filepath.Join(dir, "golden.jsonl")
+	golden, _ := runSweep(t, bin, append(shardGridArgs(), "-q", "-checkpoint", goldenCP)...)
+	goldenCSV, _ := runSweep(t, bin, append(shardGridArgs(),
+		"-q", "-checkpoint", goldenCP, "-resume", "-format", "csv")...)
+	goldenJSON, _ := runSweep(t, bin, append(shardGridArgs(),
+		"-q", "-checkpoint", goldenCP, "-resume", "-format", "json")...)
+
+	// Three "hosts", one shard each. Host 0 is SIGKILLed mid-shard and
+	// resumed from its checkpoint, like a real pre-empted machine.
+	shardCPs := make([]string, 3)
+	for i := range shardCPs {
+		shardCPs[i] = filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i))
+		shardArgs := append(shardGridArgs(), "-shard", fmt.Sprintf("%d/3", i), "-checkpoint", shardCPs[i])
+		if i == 0 {
+			killAfterProgress(t, bin, append(shardArgs, "-workers", "1")...)
+			_, errOut := runSweep(t, bin, append(shardArgs, "-resume")...)
+			m := restoredRE.FindStringSubmatch(errOut)
+			if m == nil {
+				t.Fatalf("shard 0 resume printed no restore banner:\n%s", errOut)
+			}
+			if n, _ := strconv.Atoi(m[1]); n < 1 {
+				t.Errorf("shard 0 resume restored %s scenarios; kill landed before any checkpoint", m[1])
+			}
+			continue
+		}
+		runSweep(t, bin, append(shardArgs, "-q")...)
+	}
+
+	// Merge must reproduce the unsharded bytes in every format.
+	mergeArg := strings.Join(shardCPs, ",")
+	if out, _ := runSweep(t, bin, append(shardGridArgs(), "-q", "-merge", mergeArg)...); out != golden {
+		t.Errorf("merged table differs from unsharded run:\n%s\n--- vs ---\n%s", out, golden)
+	}
+	if out, _ := runSweep(t, bin, append(shardGridArgs(),
+		"-q", "-merge", mergeArg, "-format", "csv")...); out != goldenCSV {
+		t.Error("merged CSV differs from unsharded run")
+	}
+	if out, _ := runSweep(t, bin, append(shardGridArgs(),
+		"-q", "-merge", mergeArg, "-format", "json")...); out != goldenJSON {
+		t.Error("merged JSON differs from unsharded run")
+	}
+
+	// Failure modes must be loud and fast: incomplete (missing shard,
+	// named scenarios), overlapping (duplicated shard), foreign (wrong
+	// master seed), and invalid flag combinations.
+	mustFail := func(wantSubstr string, args ...string) {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s: expected failure, got success:\n%s", strings.Join(args, " "), out)
+		}
+		if !strings.Contains(string(out), wantSubstr) {
+			t.Errorf("%s: output missing %q:\n%s", strings.Join(args, " "), wantSubstr, out)
+		}
+	}
+	mustFail("missing", append(shardGridArgs(), "-q", "-merge", shardCPs[0]+","+shardCPs[1])...)
+	mustFail("overlap", append(shardGridArgs(), "-q", "-merge", mergeArg+","+shardCPs[0])...)
+	foreign := append(shardGridArgs()[:len(shardGridArgs())-1], "12") // -seed 12
+	mustFail("seed", append(foreign, "-q", "-merge", mergeArg)...)
+	mustFail("out of range", append(shardGridArgs(), "-q", "-shard", "3/3")...)
+	mustFail("cannot be combined", append(shardGridArgs(), "-q", "-merge", mergeArg, "-shard", "0/3")...)
 }
 
 // TestSweepResumeRequiresCheckpoint: -resume without -checkpoint must

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"time"
 
@@ -39,6 +38,17 @@ type CustodyConfig struct {
 	// Workers bounds the sweep parallelism (default GOMAXPROCS). The
 	// outcome is identical at any worker count.
 	Workers int
+	// Shard restricts the run to one slice of the deterministic scenario
+	// partition (see sweep.Shard; the zero value runs everything), so a
+	// custody grid can be split across machines. A sharded run's result
+	// covers only its transports — set Checkpoint on every host and
+	// combine the files with CustodyMerge.
+	Shard sweep.Shard
+	// Checkpoint, when non-empty, streams every completed scenario to
+	// this JSONL file and restores scenarios already present before
+	// running — both the resume unit after a kill and the artifact a
+	// distributed run ships between hosts.
+	Checkpoint string
 }
 
 func (c *CustodyConfig) applyDefaults() {
@@ -111,20 +121,57 @@ type CustodyRun struct {
 // Custody runs the experiment on the sweep engine: an aggressive push
 // into a bottleneck, once per transport on the transport axis of a
 // chunknet grid — INRPP custody+back-pressure against the AIMD and ARC
-// drop-tail baselines, all under identical offered load.
+// drop-tail baselines, all under identical offered load. With cfg.Shard
+// set, only that slice of the transport grid runs; with cfg.Checkpoint
+// set, completed scenarios stream to disk and a rerun resumes instead of
+// restarting.
 func Custody(cfg CustodyConfig) (*CustodyResult, error) {
 	cfg.applyDefaults()
-	spec := cfg.Spec()
+	results, err := runExperiment(cfg.Workers, cfg.Shard, cfg.Checkpoint, custodyLabel(cfg), custodyScenarios(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return custodyCollect(cfg, results)
+}
 
+// CustodyMerge combines the checkpoints of a distributed custody run —
+// one file per shard host — into the full result, without executing any
+// scenario. Checkpoints from a different CustodyConfig, overlapping
+// shard sets and incomplete coverage are all rejected loudly.
+func CustodyMerge(cfg CustodyConfig, checkpoints ...string) (*CustodyResult, error) {
+	cfg.applyDefaults()
+	results, err := sweep.MergeCheckpoints(custodyLabel(cfg), custodyScenarios(cfg), checkpoints...)
+	if err != nil {
+		return nil, err
+	}
+	return custodyCollect(cfg, results)
+}
+
+// custodyScenarios expands the transport grid. cfg must already have
+// defaults applied.
+func custodyScenarios(cfg CustodyConfig) []sweep.Scenario {
+	spec := cfg.Spec()
 	grid := sweep.NewGrid().Axis("transport", "inrpp", "aimd", "arc")
-	scenarios := grid.Expand(0, 1, func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
+	return grid.Expand(0, 1, func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
 		s := spec
 		s.Transport = sweep.MustParseTransport(pt.Get("transport"))
 		return s.Run(seed)
 	})
-	results := (&sweep.Runner{Workers: cfg.Workers}).Run(context.Background(), scenarios)
+}
+
+// custodyLabel derives the checkpoint config label: every non-axis
+// parameter that changes the physics of the chain.
+func custodyLabel(cfg CustodyConfig) string {
+	return fmt.Sprintf("custody ingress=%s egress=%s custody=%s buffer=%s chunksize=%s chunks=%d horizon=%s",
+		cfg.IngressRate, cfg.EgressRate, cfg.Custody, cfg.Buffer, cfg.ChunkSize, cfg.Chunks, cfg.Horizon)
+}
+
+// custodyCollect folds sweep results into the experiment's comparison.
+// Results the process never ran (another shard's transports) are
+// skipped, so a sharded run yields a partial — but never wrong — result.
+func custodyCollect(cfg CustodyConfig, results []sweep.Result) (*CustodyResult, error) {
 	for _, r := range results {
-		if r.Err != nil {
+		if r.Err != nil && !sweep.Skipped(r) {
 			return nil, fmt.Errorf("custody %w", r.Err)
 		}
 	}

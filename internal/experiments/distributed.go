@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sweep"
+)
+
+// runExperiment executes one experiment grid the way cmd/sweep runs its
+// grids: an optional shard restricts execution to one slice of the
+// deterministic partition, and an optional checkpoint file both restores
+// previously completed scenarios and streams new completions to disk.
+// It is the shared engine behind Fig4 and Custody, so the two
+// multi-scenario experiment drivers can be split across machines with
+// the same guarantees as a CLI sweep: byte-identical aggregate output at
+// any worker count, across kill/resume, and — after Fig4Merge or
+// CustodyMerge — at any shard count.
+func runExperiment(workers int, shard sweep.Shard, checkpoint, label string, scenarios []sweep.Scenario) ([]sweep.Result, error) {
+	if err := shard.Validate(); err != nil {
+		return nil, err
+	}
+	runner := &sweep.Runner{Workers: workers, Shard: shard}
+	if checkpoint == "" {
+		return runner.Run(context.Background(), scenarios), nil
+	}
+	prior, _, err := sweep.LoadCheckpoint(checkpoint, label, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := sweep.NewCheckpoint(checkpoint, label)
+	if err != nil {
+		return nil, err
+	}
+	runner.Progress = cp.Progress(nil)
+	results := runner.Resume(context.Background(), scenarios, prior)
+	if err := cp.Close(); err != nil {
+		return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	return results, nil
+}

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/flowsim"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -171,6 +174,103 @@ func TestCustodyExperiment(t *testing.T) {
 	}
 	if CustodyReport(r).String() == "" {
 		t.Error("empty custody report")
+	}
+}
+
+// tinyFig4 is the smallest meaningful Figure 4 config, for the
+// distributed-run tests: one small ISP, one seed, short horizon.
+func tinyFig4() Fig4Config {
+	return Fig4Config{
+		ISPs:            []topo.ISP{topo.VSNL},
+		TargetActive:    30,
+		DemandCap:       50 * units.Mbps,
+		UniformCapacity: 100 * units.Mbps,
+		MeanFlowSize:    20 * units.MB,
+		Horizon:         3 * time.Second,
+		Seeds:           1,
+	}
+}
+
+// TestFig4ShardMerge: a Figure 4 run split into two shard hosts — each
+// writing a checkpoint — merges into exactly the unsharded figure.
+func TestFig4ShardMerge(t *testing.T) {
+	golden, err := Fig4(tinyFig4())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("fig4-shard%d.jsonl", i))
+		cfg := tinyFig4()
+		cfg.Shard = sweep.Shard{Index: i, Count: 2}
+		cfg.Checkpoint = paths[i]
+		if _, err := Fig4(cfg); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+
+	merged, err := Fig4Merge(tinyFig4(), paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := Fig4aReport(merged).String(), Fig4aReport(golden).String(); got != want {
+		t.Errorf("merged Fig4a differs from unsharded run:\n%s\n--- vs ---\n%s", got, want)
+	}
+	if got, want := Fig4bReport(merged).String(), Fig4bReport(golden).String(); got != want {
+		t.Errorf("merged Fig4b differs from unsharded run:\n%s\n--- vs ---\n%s", got, want)
+	}
+
+	// An incomplete shard set must fail loudly, not return a partial figure.
+	if _, err := Fig4Merge(tinyFig4(), paths[0]); err == nil {
+		t.Error("Fig4Merge with a missing shard should fail")
+	}
+	// As must a checkpoint recorded under a different configuration.
+	other := tinyFig4()
+	other.Horizon = 4 * time.Second
+	if _, err := Fig4Merge(other, paths...); err == nil {
+		t.Error("Fig4Merge with a foreign-config checkpoint should fail")
+	}
+}
+
+// TestCustodyShardMerge: the custody experiment's transport grid, split
+// across two shard hosts and merged, reproduces the unsharded report.
+func TestCustodyShardMerge(t *testing.T) {
+	base := CustodyConfig{
+		IngressRate: 4 * units.Gbps,
+		EgressRate:  200 * units.Mbps,
+		Custody:     units.GB,
+		Buffer:      2 * units.MB,
+		ChunkSize:   units.MB,
+		Chunks:      600,
+		Horizon:     4 * time.Second,
+	}
+	golden, err := Custody(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("custody-shard%d.jsonl", i))
+		cfg := base
+		cfg.Shard = sweep.Shard{Index: i, Count: 2}
+		cfg.Checkpoint = paths[i]
+		if _, err := Custody(cfg); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	merged, err := CustodyMerge(base, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := CustodyReport(merged).String(), CustodyReport(golden).String(); got != want {
+		t.Errorf("merged custody report differs from unsharded run:\n%s\n--- vs ---\n%s", got, want)
+	}
+	if _, err := CustodyMerge(base, paths[0]); err == nil {
+		t.Error("CustodyMerge with a missing shard should fail")
 	}
 }
 

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"time"
 
@@ -52,6 +51,17 @@ type Fig4Config struct {
 	// Workers bounds the scenario parallelism of the sweep (default
 	// runtime.GOMAXPROCS). Results are identical at any worker count.
 	Workers int
+	// Shard restricts the run to one slice of the deterministic scenario
+	// partition (see sweep.Shard; the zero value runs the whole grid), so
+	// the Figure 4 sweep can be split across machines. A sharded run's
+	// returned tables cover only its slice — set Checkpoint on every host
+	// and combine the files with Fig4Merge for the full figure.
+	Shard sweep.Shard
+	// Checkpoint, when non-empty, streams every completed scenario to
+	// this JSONL file and restores scenarios already present before
+	// running — both the resume unit after a kill and the artifact a
+	// distributed run ships between hosts.
+	Checkpoint string
 }
 
 // DefaultFig4Config returns the configuration used for EXPERIMENTS.md.
@@ -109,14 +119,51 @@ type Fig4TopoResult struct {
 // flow arrivals on the three ISP topologies under SP, ECMP and INRP. The
 // ISP × policy × seed grid executes on the sweep engine's worker pool; the
 // workload seed is shared across the policy axis so every policy is
-// measured on the same flows at each replica.
+// measured on the same flows at each replica. With cfg.Shard set, only
+// that slice of the grid runs (and only its rows are populated); with
+// cfg.Checkpoint set, completed scenarios stream to disk and a rerun
+// resumes instead of restarting.
 func Fig4(cfg Fig4Config) ([]Fig4TopoResult, error) {
 	cfg.applyDefaults()
+	scenarios, label, err := fig4Scenarios(cfg)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runExperiment(cfg.Workers, cfg.Shard, cfg.Checkpoint, label, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	return fig4Collect(cfg, results)
+}
+
+// Fig4Merge combines the checkpoints of a distributed Figure 4 run — one
+// file per shard host — into the full figure, without executing any
+// scenario. Checkpoints from a different Fig4Config are rejected (the
+// grid, per-scenario seeds and the config label are all validated), as
+// are overlapping or incomplete shard sets.
+func Fig4Merge(cfg Fig4Config, checkpoints ...string) ([]Fig4TopoResult, error) {
+	cfg.applyDefaults()
+	scenarios, label, err := fig4Scenarios(cfg)
+	if err != nil {
+		return nil, err
+	}
+	results, err := sweep.MergeCheckpoints(label, scenarios, checkpoints...)
+	if err != nil {
+		return nil, err
+	}
+	return fig4Collect(cfg, results)
+}
+
+// fig4Scenarios expands the Figure 4 grid and derives the config label
+// binding its checkpoints: every non-axis parameter that changes the
+// physics, so two hosts can only merge runs of the same configuration.
+// cfg must already have defaults applied.
+func fig4Scenarios(cfg Fig4Config) ([]sweep.Scenario, string, error) {
 	specs := make(map[topo.ISP]sweep.FlowSpec, len(cfg.ISPs))
 	for _, isp := range cfg.ISPs {
 		spec, err := fig4Spec(isp, cfg)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		specs[isp] = spec
 	}
@@ -134,11 +181,17 @@ func Fig4(cfg Fig4Config) ([]Fig4TopoResult, error) {
 		spec.Policy = sweep.MustParsePolicy(pt.Get("policy"))
 		return spec.Run(seed)
 	})
+	label := fmt.Sprintf("fig4 target=%d load=%g demand=%s size=%s horizon=%s capacity=%s",
+		cfg.TargetActive, cfg.LoadRatio, cfg.DemandCap, cfg.MeanFlowSize, cfg.Horizon, cfg.UniformCapacity)
+	return scenarios, label, nil
+}
 
-	runner := &sweep.Runner{Workers: cfg.Workers}
-	results := runner.Run(context.Background(), scenarios)
+// fig4Collect folds sweep results into per-topology figure rows. Results
+// the process never ran (another shard's scenarios) are skipped, so a
+// sharded run yields a partial — but never wrong — figure.
+func fig4Collect(cfg Fig4Config, results []sweep.Result) ([]Fig4TopoResult, error) {
 	for _, r := range results {
-		if r.Err != nil {
+		if r.Err != nil && !sweep.Skipped(r) {
 			return nil, fmt.Errorf("fig4 %w", r.Err)
 		}
 	}

@@ -30,11 +30,16 @@ type Aggregate struct {
 
 // Aggregated groups results by point (in first-appearance order) and folds
 // each successful result's metrics into its group. Errored results only
-// increment Failed.
+// increment Failed. Results the process never executed — another shard's
+// scenarios, or unrestored checkpoint placeholders (see Skipped) — are
+// excluded entirely, so a sharded run aggregates exactly what it ran.
 func Aggregated(results []Result) []Aggregate {
 	index := map[string]int{}
 	var out []Aggregate
 	for _, r := range results {
+		if Skipped(r) {
+			continue
+		}
 		key := r.Point.Key()
 		i, ok := index[key]
 		if !ok {

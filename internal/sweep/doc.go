@@ -21,6 +21,12 @@
 //     freshly expanded scenario list — so even a SIGKILLed process can
 //     restart, run only what is missing, and emit the same bytes as an
 //     uninterrupted run.
+//   - Shard invariance: a Shard deterministically partitions the expanded
+//     grid by a hash of each scenario's identity, so N machines can each
+//     run one slice (Runner.Shard) against standard checkpoints, and
+//     MergeCheckpoints recombines the N files — validating same
+//     grid/master-seed/config, rejecting overlaps, naming gaps — into
+//     output byte-identical to an unsharded run at any shard count.
 //
 // Two scenario constructors cover the repo's simulators: FlowSpec builds
 // flow-level scenarios (the Figure 4 recipe: ISP topology + Poisson
@@ -30,6 +36,15 @@
 // Both derive everything from the scenario seed, so grid axes that
 // exclude the comparison dimension (Grid.SeedAxes) measure every
 // alternative under identical load.
+//
+// FlowSpec memoizes trace generation: scenarios handed the same workload
+// seed at the same spec (a grid whose SeedAxes exclude the policy axis)
+// hit a bounded in-process cache and share one generated trace instead of
+// regenerating it once per policy. A hit returns the cached trace
+// unmodified (flowsim treats its input flows as read-only), a miss
+// generates deterministically, and eviction only ever costs a
+// regeneration — cache state can never change a scenario's outcome, so
+// the byte-identical guarantees above are unaffected.
 //
 // See ARCHITECTURE.md at the repo root for the layer map and the data
 // flow of a sweep run.

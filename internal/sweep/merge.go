@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// IncompleteError reports a merge whose checkpoints do not cover the
+// whole grid: some scenarios were recorded by no file. It lists exactly
+// which, so an operator can see which shard (or which host's run) is
+// missing or unfinished.
+type IncompleteError struct {
+	// Missing lists the absent scenarios' names, in scenario order.
+	Missing []string
+	// Total is the grid's scenario count.
+	Total int
+}
+
+func (e *IncompleteError) Error() string {
+	const show = 8
+	names := e.Missing
+	more := ""
+	if len(names) > show {
+		more = fmt.Sprintf(" … and %d more", len(names)-show)
+		names = names[:show]
+	}
+	return fmt.Sprintf("sweep: merge incomplete: %d/%d scenarios missing: %s%s",
+		len(e.Missing), e.Total, strings.Join(names, "; "), more)
+}
+
+// MergeCheckpoints combines N shard checkpoint files into one full
+// result set, in scenario order — the aggregation input of a sweep that
+// was partitioned across machines with Shard. Because every record
+// carries its scenario's identity and metrics, and aggregation is
+// order-independent, the merged output is byte-identical to an
+// unsharded run of the same grid at any shard count.
+//
+// Every file is validated the way LoadCheckpoint validates a resume:
+// records naming a scenario the grid cannot derive (different grid),
+// records disagreeing with a scenario's derived seed (different master
+// seed), and files whose header label differs from the given label
+// (different non-axis configuration) all fail loudly. On top of that,
+// merge-specific checks reject overlapping shard sets (two files
+// recording the same scenario), missing files (unlike a resume, a merge
+// must not silently treat a typo'd path as an empty shard), and
+// incomplete coverage — the returned *IncompleteError names the absent
+// scenarios. A checkpoint that contributes zero scenarios is fine: tiny
+// grids can legitimately leave a shard empty.
+func MergeCheckpoints(label string, scenarios []Scenario, paths ...string) ([]Result, error) {
+	if len(paths) == 0 {
+		return nil, errors.New("sweep: merge needs at least one checkpoint file")
+	}
+	merged := make([]Result, len(scenarios))
+	for i, sc := range scenarios {
+		merged[i] = Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrNotRun}
+	}
+	source := make([]string, len(scenarios))
+	for _, path := range paths {
+		if _, err := os.Stat(path); err != nil {
+			return nil, fmt.Errorf("sweep: merge checkpoint: %w", err)
+		}
+		loaded, _, err := LoadCheckpoint(path, label, scenarios)
+		if err != nil {
+			return nil, err
+		}
+		for i := range loaded {
+			if loaded[i].Err != nil {
+				continue
+			}
+			if source[i] != "" {
+				return nil, fmt.Errorf("sweep: checkpoints %s and %s overlap: both record scenario %q",
+					source[i], path, scenarios[i].Name)
+			}
+			source[i] = path
+			merged[i] = loaded[i]
+		}
+	}
+	var missing []string
+	for i := range merged {
+		if merged[i].Err != nil {
+			missing = append(missing, merged[i].Name)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, &IncompleteError{Missing: missing, Total: len(scenarios)}
+	}
+	return merged, nil
+}

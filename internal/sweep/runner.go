@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,6 +23,11 @@ type Runner struct {
 	Workers int
 	// Progress, when non-nil, streams per-scenario completion events.
 	Progress Progress
+	// Shard, when non-zero, restricts execution to the scenarios this
+	// shard owns (see Shard), so a grid can be split across machines: Run
+	// returns other shards' results carrying ErrOtherShard, Resume never
+	// re-runs them, and Progress counts only this shard's scenarios.
+	Shard Shard
 }
 
 // Run executes the scenarios and returns one Result per scenario, in
@@ -32,21 +38,30 @@ type Runner struct {
 // see the cancellation through the ctx passed to their RunFunc; one that
 // never re-checks it (the shipped simulators are single-shot) runs to
 // completion first, so cancellation latency is bounded by the longest
-// in-flight scenario.
+// in-flight scenario. With Shard set, only the shard's scenarios execute;
+// the rest complete immediately with ErrOtherShard.
 func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
 	results := make([]Result, len(scenarios))
-	indices := make([]int, len(scenarios))
-	for i := range scenarios {
-		indices[i] = i
+	indices := make([]int, 0, len(scenarios))
+	for i, sc := range scenarios {
+		if !r.Shard.Contains(sc) {
+			results[i] = Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard}
+			continue
+		}
+		indices = append(indices, i)
 	}
 	r.run(ctx, scenarios, results, indices)
 	return results
 }
 
 // Resume re-executes exactly the scenarios whose previous Result carries an
-// error (typically context.Canceled from an interrupted Run) and returns a
-// patched copy of results. Successful results are untouched, so a
-// cancel/resume pair yields the same result set as one uninterrupted run.
+// error (typically context.Canceled from an interrupted Run, or ErrNotRun
+// from LoadCheckpoint) and returns a patched copy of results. Successful
+// results are untouched, so a cancel/resume pair yields the same result set
+// as one uninterrupted run. With Shard set, every scenario outside the
+// shard — restored or pending — comes back as ErrOtherShard: a checkpoint
+// recorded under a different shard split (or none) must not leak foreign
+// scenarios into this slice's output.
 func (r *Runner) Resume(ctx context.Context, scenarios []Scenario, results []Result) []Result {
 	if len(results) != len(scenarios) {
 		panic(fmt.Sprintf("sweep: Resume with %d results for %d scenarios", len(results), len(scenarios)))
@@ -54,6 +69,11 @@ func (r *Runner) Resume(ctx context.Context, scenarios []Scenario, results []Res
 	patched := append([]Result(nil), results...)
 	var pending []int
 	for i, res := range patched {
+		if !r.Shard.Contains(scenarios[i]) {
+			sc := scenarios[i]
+			patched[i] = Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard}
+			continue
+		}
 		if res.Err != nil {
 			pending = append(pending, i)
 		}
@@ -141,4 +161,13 @@ func Errored(results []Result) []int {
 		}
 	}
 	return out
+}
+
+// Skipped reports whether a result marks a scenario this process never
+// executed — a restore placeholder (ErrNotRun) or another shard's
+// scenario (ErrOtherShard) — as opposed to one that ran and failed.
+// Aggregated excludes skipped results from both replica and failure
+// counts.
+func Skipped(r Result) bool {
+	return errors.Is(r.Err, ErrNotRun) || errors.Is(r.Err, ErrOtherShard)
 }

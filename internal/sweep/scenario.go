@@ -71,7 +71,10 @@ func (s FlowSpec) Workload(g *topo.Graph, seed int64) []workload.Flow {
 }
 
 // Simulate builds the topology and workload from seed and runs flowsim,
-// returning the full result.
+// returning the full result. Trace generation is memoized across calls:
+// scenarios handed the same workload seed at the same spec (a grid whose
+// SeedAxes exclude the policy axis) share one generated trace instead of
+// regenerating it per policy.
 func (s FlowSpec) Simulate(seed int64) (*flowsim.Result, error) {
 	g, err := s.Graph()
 	if err != nil {
@@ -80,7 +83,7 @@ func (s FlowSpec) Simulate(seed int64) (*flowsim.Result, error) {
 	return flowsim.Run(flowsim.Config{
 		Graph:     g,
 		Policy:    s.Policy,
-		Flows:     s.Workload(g, seed),
+		Flows:     s.cachedWorkload(g, seed),
 		Horizon:   s.Horizon,
 		DemandCap: s.DemandCap,
 	})

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"sync"
+
+	"repro/internal/topo"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// traceKey identifies one generated flow trace: exactly the FlowSpec
+// fields the trace depends on, plus the workload seed. Policy, Capacity,
+// DemandCap and Horizon shape the simulation but not the trace — the
+// gravity matrix is degree-weighted, so capacity overrides do not move
+// traffic endpoints.
+type traceKey struct {
+	isp    topo.ISP
+	flows  int
+	lambda float64
+	mean   units.ByteSize
+	seed   int64
+}
+
+// traceCacheCap bounds the memo to the most recent distinct traces. A
+// wide policy axis only needs the handful of traces its in-flight
+// scenarios share; FIFO eviction keeps a long sweep's footprint flat.
+const traceCacheCap = 64
+
+// traceCache memoizes flow-trace generation across scenarios. Grids
+// that exclude the comparison axis from seed derivation (Grid.SeedAxes)
+// hand the same workload seed to every policy at a point, so without the
+// memo each policy regenerates an identical trace. Cached traces are
+// shared, never copied: flowsim treats its input flows as read-only.
+// Generation is deterministic, so cache state (hits, misses, evictions,
+// scheduling) can never change a scenario's outcome — only its cost.
+var traceCache = struct {
+	sync.Mutex
+	m            map[traceKey][]workload.Flow
+	order        []traceKey // insertion order, for FIFO eviction
+	hits, misses int
+}{m: map[traceKey][]workload.Flow{}}
+
+// cachedWorkload returns the spec's flow trace for seed, generating and
+// memoizing it on first use. Two concurrent workers missing on the same
+// key may both generate; they produce identical traces, and only one is
+// kept.
+func (s FlowSpec) cachedWorkload(g *topo.Graph, seed int64) []workload.Flow {
+	key := traceKey{isp: s.ISP, flows: s.Flows, lambda: s.Lambda, mean: s.MeanSize, seed: seed}
+	traceCache.Lock()
+	if tr, ok := traceCache.m[key]; ok {
+		traceCache.hits++
+		traceCache.Unlock()
+		return tr
+	}
+	traceCache.misses++
+	traceCache.Unlock()
+
+	tr := s.Workload(g, seed)
+
+	traceCache.Lock()
+	defer traceCache.Unlock()
+	if _, ok := traceCache.m[key]; !ok {
+		if len(traceCache.order) >= traceCacheCap {
+			delete(traceCache.m, traceCache.order[0])
+			traceCache.order = traceCache.order[1:]
+		}
+		traceCache.m[key] = tr
+		traceCache.order = append(traceCache.order, key)
+	}
+	return traceCache.m[key]
+}
+
+// traceCacheStats snapshots the hit/miss counters (for tests).
+func traceCacheStats() (hits, misses int) {
+	traceCache.Lock()
+	defer traceCache.Unlock()
+	return traceCache.hits, traceCache.misses
+}

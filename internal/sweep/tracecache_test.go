@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// TestTraceCacheSharesPairedWorkloads: a grid whose SeedAxes exclude the
+// policy axis hands both policies the same workload seed, so the second
+// policy's trace generation must be a cache hit — and hit or miss, the
+// traces must be the very same slice (flowsim never mutates them).
+func TestTraceCacheSharesPairedWorkloads(t *testing.T) {
+	spec := FlowSpec{
+		ISP:       topo.VSNL,
+		Capacity:  100 * units.Mbps,
+		Flows:     20,
+		MeanSize:  10 * units.MB,
+		DemandCap: 50 * units.Mbps,
+		Horizon:   2 * time.Second,
+	}
+	g, err := spec.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seed := DeriveSeed(99, "trace-cache-test", 0)
+	h0, m0 := traceCacheStats()
+	first := spec.cachedWorkload(g, seed)
+	second := spec.cachedWorkload(g, seed)
+	h1, m1 := traceCacheStats()
+	if m1-m0 != 1 || h1-h0 != 1 {
+		t.Fatalf("two identical lookups: %d misses, %d hits; want 1, 1", m1-m0, h1-h0)
+	}
+	if len(first) == 0 || &first[0] != &second[0] {
+		t.Fatal("cache hit did not return the shared trace")
+	}
+
+	// Capacity shapes the simulation, not the trace: a different override
+	// must still hit.
+	altCap := spec
+	altCap.Capacity = 200 * units.Mbps
+	altCap.cachedWorkload(g, seed)
+	// A different flow count is a different trace: must miss.
+	altFlows := spec
+	altFlows.Flows = 21
+	altFlows.cachedWorkload(g, seed)
+	h2, m2 := traceCacheStats()
+	if h2-h1 != 1 || m2-m1 != 1 {
+		t.Fatalf("capacity variant should hit and flow-count variant miss; got %d hits, %d misses", h2-h1, m2-m1)
+	}
+
+	// End to end: a policy-paired sweep generates each trace once. With
+	// one worker the counts are exact — 2 seeds (replicas) × 1 point.
+	h3, m3 := traceCacheStats()
+	grid := NewGrid().Axis("isp", string(topo.VSNL)).Axis("policy", "sp", "inrp").SeedAxes("isp")
+	scenarios := grid.Expand(41, 2, func(pt Point, replica int, seed int64) RunFunc {
+		s := spec
+		s.Policy = MustParsePolicy(pt.Get("policy"))
+		return s.Run(seed)
+	})
+	results := (&Runner{Workers: 1}).Run(context.Background(), scenarios)
+	for _, i := range Errored(results) {
+		t.Fatal(results[i].Err)
+	}
+	h4, m4 := traceCacheStats()
+	if m4-m3 != 2 {
+		t.Errorf("paired sweep generated %d traces, want 2 (one per replica)", m4-m3)
+	}
+	if h4-h3 != 2 {
+		t.Errorf("paired sweep hit %d times, want 2 (second policy at each replica)", h4-h3)
+	}
+}
+
+// TestTraceCacheEviction: the memo is bounded; filling it past capacity
+// evicts oldest-first without affecting correctness.
+func TestTraceCacheEviction(t *testing.T) {
+	spec := FlowSpec{ISP: topo.VSNL, Flows: 2, MeanSize: units.MB}
+	g, err := spec.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < traceCacheCap+10; i++ {
+		spec.cachedWorkload(g, int64(1000+i))
+	}
+	traceCache.Lock()
+	n, ordered := len(traceCache.m), len(traceCache.order)
+	traceCache.Unlock()
+	if n > traceCacheCap || n != ordered {
+		t.Fatalf("cache holds %d entries (order %d), cap %d", n, ordered, traceCacheCap)
+	}
+	// An evicted key regenerates the identical trace.
+	a := spec.cachedWorkload(g, 1000)
+	b := spec.Workload(g, 1000)
+	if len(a) != len(b) || a[0] != b[0] || a[len(a)-1] != b[len(b)-1] {
+		t.Fatal("regenerated trace differs from direct generation")
+	}
+}

@@ -87,6 +87,10 @@ type (
 	// SweepCheckpoint streams completed scenario results to a JSONL file
 	// so a killed sweep can resume from disk.
 	SweepCheckpoint = sweep.Checkpoint
+	// SweepShard selects one slice of the deterministic partition of an
+	// expanded scenario grid, so a sweep can be split across machines and
+	// recombined with MergeSweepCheckpoints.
+	SweepShard = sweep.Shard
 )
 
 // Common rate and size constants.
@@ -183,6 +187,32 @@ func LoadSweepCheckpoint(path, label string, scenarios []SweepScenario) ([]Sweep
 	return sweep.LoadCheckpoint(path, label, scenarios)
 }
 
+// ParseSweepShard parses the "index/count" form (0-based, e.g. "1/3")
+// into a SweepShard.
+func ParseSweepShard(s string) (SweepShard, error) { return sweep.ParseShard(s) }
+
+// RunSweepShard executes only the scenarios the shard owns (the rest
+// come back marked as another shard's and are excluded from
+// aggregation), so N machines can each run one slice of the same grid.
+func RunSweepShard(ctx context.Context, workers int, shard SweepShard, scenarios []SweepScenario) []SweepResult {
+	return (&sweep.Runner{Workers: workers, Shard: shard}).Run(ctx, scenarios)
+}
+
+// MergeSweepCheckpoints combines per-shard checkpoint files into the
+// full result set, in scenario order — validating that every file comes
+// from the same grid, master seed and config label, rejecting
+// overlapping shard sets, and failing with an error naming the missing
+// scenarios when coverage is incomplete. The merged results aggregate to
+// output byte-identical to an unsharded run.
+func MergeSweepCheckpoints(label string, scenarios []SweepScenario, paths ...string) ([]SweepResult, error) {
+	return sweep.MergeCheckpoints(label, scenarios, paths...)
+}
+
+// SweepResultSkipped reports whether a result marks a scenario this
+// process never executed — another shard's scenario or an unrestored
+// checkpoint placeholder — as opposed to one that ran and failed.
+func SweepResultSkipped(r SweepResult) bool { return sweep.Skipped(r) }
+
 // AggregateSweep groups results by grid point and accumulates replica
 // metrics.
 func AggregateSweep(results []SweepResult) []SweepAggregate {
@@ -214,4 +244,10 @@ var (
 	Fig3Fairness = experiments.Fig3
 	// Custody regenerates the §3.3 custody/back-pressure experiment.
 	Custody = experiments.Custody
+	// Fig4Merge combines the shard checkpoints of a distributed Figure 4
+	// run into the full figure without executing any scenario.
+	Fig4Merge = experiments.Fig4Merge
+	// CustodyMerge combines the shard checkpoints of a distributed
+	// custody run into the full result without executing any scenario.
+	CustodyMerge = experiments.CustodyMerge
 )
