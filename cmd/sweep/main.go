@@ -27,6 +27,16 @@
 // disk and executes only the rest, so a killed process (SIGKILL included)
 // finishes with output byte-identical to an uninterrupted run.
 //
+// Results aggregate through a streaming accumulator as workers finish.
+// -agg selects the representation: "exact" pools every raw sample (the
+// byte-identical reference), "sketch" holds bounded quantile sketches —
+// O(sketch) memory per grid point however many replicas and samples pool
+// into it — and "auto" (default) starts exact and cuts over to sketches
+// the moment pooled samples exceed -agg-budget. Table, CSV and JSON
+// output is byte-identical across all three modes (they render streamed
+// mean±std); only explicit percentile queries see the sketch's documented
+// ±ε rank error (-sketch-eps).
+//
 // A grid can be split across machines: -shard i/n (0-based) runs only the
 // i-th slice of a deterministic n-way partition of the expanded grid,
 // writing a standard checkpoint, and -merge file1,file2,... combines the
@@ -70,6 +80,9 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	checkpointPath := flag.String("checkpoint", "", "stream completed scenarios to this JSONL file")
 	resume := flag.Bool("resume", false, "restore completed scenarios from -checkpoint, run only the rest")
+	aggStr := flag.String("agg", "auto", "aggregation: exact|sketch|auto (auto stays exact until -agg-budget pooled samples, then cuts over to bounded quantile sketches)")
+	sketchEps := flag.Float64("sketch-eps", 0, "sketch rank-error fraction (0 = default 0.01)")
+	aggBudget := flag.Int64("agg-budget", 0, "auto aggregation: pooled raw-sample budget before the sketch cutover (0 = default 2^20)")
 	shardStr := flag.String("shard", "", "run only shard i/n of the grid (0-based, e.g. 0/3); combine shard checkpoints with -merge")
 	mergeList := flag.String("merge", "", "merge shard checkpoint files (comma-separated JSONL paths) instead of running")
 
@@ -134,18 +147,32 @@ func main() {
 		}
 	}
 
-	// -merge: no scenario runs; combine collected shard checkpoints into
-	// the full result set and render it. Title and bytes must match an
-	// unsharded run exactly, so the rendering path below is shared.
+	aggMode, err := sweep.ParseAggMode(*aggStr)
+	if err != nil {
+		fatal(err)
+	}
+	if *sketchEps < 0 || *sketchEps >= 0.5 {
+		fatal(fmt.Errorf("-sketch-eps %g out of range [0, 0.5): every answer would be vacuous", *sketchEps))
+	}
+	newAccumulator := func() *sweep.Accumulator {
+		return sweep.NewAccumulator(sweep.AccumulatorConfig{
+			Mode: aggMode, Eps: *sketchEps, SampleBudget: *aggBudget,
+		}, scenarios)
+	}
+
+	// -merge: no scenario runs; stream the collected shard checkpoints
+	// through an accumulator in scenario order and render the result.
+	// Title and bytes must match an unsharded run exactly, so the
+	// rendering path below is shared.
 	if *mergeList != "" {
 		if *shardStr != "" || *checkpointPath != "" || *resume {
 			fatal(fmt.Errorf("-merge cannot be combined with -shard, -checkpoint or -resume"))
 		}
-		results, err := sweep.MergeCheckpoints(label, scenarios, split(*mergeList)...)
-		if err != nil {
+		acc := newAccumulator()
+		if err := sweep.MergeCheckpointsInto(acc, label, scenarios, split(*mergeList)...); err != nil {
 			fatal(err)
 		}
-		render(*format, *metricsList, title(scenarios, *replicas, *seed, sweep.Shard{}), results)
+		render(*format, *metricsList, title(scenarios, *replicas, *seed, sweep.Shard{}), acc)
 		return
 	}
 
@@ -160,18 +187,8 @@ func main() {
 		}
 	}
 
-	var prior []sweep.Result
-	if *resume {
-		if *checkpointPath == "" {
-			fatal(fmt.Errorf("-resume requires -checkpoint"))
-		}
-		loaded, n, err := sweep.LoadCheckpoint(*checkpointPath, label, scenarios)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "sweep: restored %d/%d scenarios from %s\n",
-			n, len(shard.Select(scenarios)), *checkpointPath)
-		prior = loaded
+	if *resume && *checkpointPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
 	var cp *sweep.Checkpoint
 	if *checkpointPath != "" {
@@ -182,29 +199,36 @@ func main() {
 		runner.Progress = cp.Progress(runner.Progress)
 	}
 
-	var results []sweep.Result
-	if prior != nil {
-		results = runner.Resume(context.Background(), scenarios, prior)
+	// Results fold into the accumulator as workers finish; only the
+	// failed ones come back as a slice, for reporting. A resume streams
+	// restored records from the checkpoint file as the accumulator
+	// reaches them, never materialising them all at once.
+	acc := newAccumulator()
+	var failed []sweep.Result
+	if *resume {
+		_, failed, err = runner.ResumeCheckpointAccumulate(context.Background(), *checkpointPath, label, scenarios, acc,
+			func(restored int) {
+				fmt.Fprintf(os.Stderr, "sweep: restored %d/%d scenarios from %s\n",
+					restored, len(shard.Select(scenarios)), *checkpointPath)
+			})
 	} else {
-		results = runner.Run(context.Background(), scenarios)
+		failed, err = runner.Accumulate(context.Background(), scenarios, acc)
+	}
+	if err != nil {
+		fatal(err)
 	}
 	if cp != nil {
 		if err := cp.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: checkpoint: %v\n", err)
 		}
 	}
-	failed := 0
-	for _, i := range sweep.Errored(results) {
-		if sweep.Skipped(results[i]) {
-			continue // another shard's scenario, not a failure here
-		}
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", results[i].Err)
-		failed++
+	for _, r := range failed {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", r.Err)
 	}
 
-	render(*format, *metricsList, title(scenarios, *replicas, *seed, shard), results)
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios failed\n", failed, len(shard.Select(scenarios)))
+	render(*format, *metricsList, title(scenarios, *replicas, *seed, shard), acc)
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios failed\n", len(failed), len(shard.Select(scenarios)))
 		os.Exit(1)
 	}
 }
@@ -228,9 +252,12 @@ func title(scenarios []sweep.Scenario, replicas int, seed int64, shard sweep.Sha
 		base, shard, len(shard.Select(scenarios)))
 }
 
-// render writes the aggregated results in the requested format.
-func render(format, metricsList, tableTitle string, results []sweep.Result) {
-	aggs := sweep.Aggregated(results)
+// render writes the accumulator's aggregates in the requested format.
+func render(format, metricsList, tableTitle string, acc *sweep.Accumulator) {
+	aggs, err := acc.Aggregates()
+	if err != nil {
+		fatal(err)
+	}
 	metrics := split(metricsList)
 	switch format {
 	case "table":

@@ -178,6 +178,41 @@ func TestFlowSweepCheckpointResume(t *testing.T) {
 	}
 }
 
+// TestSweepAggModes is the end-to-end aggregation-mode guarantee: table,
+// CSV and JSON output is byte-identical between -agg exact, -agg sketch
+// and an -agg auto run forced over its sample budget — the rendered
+// mean±std come from streamed summaries that fold identically in every
+// representation.
+func TestSweepAggModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep run")
+	}
+	bin := buildSweep(t)
+	for _, format := range []string{"table", "csv", "json"} {
+		args := []string{
+			"-isps", "VSNL (IN)",
+			"-policies", "sp,inrp",
+			"-flows", "30",
+			"-capacity", "100Mbps", "-demand", "50Mbps", "-size", "20MB",
+			"-horizon", "2s",
+			"-replicas", "2",
+			"-seed", "1",
+			"-workers", "2",
+			"-format", format,
+			"-q",
+		}
+		exact, _ := runSweep(t, bin, append(args, "-agg", "exact")...)
+		sketch, _ := runSweep(t, bin, append(args, "-agg", "sketch")...)
+		cutover, _ := runSweep(t, bin, append(args, "-agg", "auto", "-agg-budget", "1")...)
+		if sketch != exact {
+			t.Errorf("%s: -agg sketch differs from -agg exact:\n%s\n--- vs ---\n%s", format, sketch, exact)
+		}
+		if cutover != exact {
+			t.Errorf("%s: -agg auto past its budget differs from -agg exact:\n%s\n--- vs ---\n%s", format, cutover, exact)
+		}
+	}
+}
+
 // shardGridArgs is a chunk grid for the distributed e2e: 8 scenarios of
 // ~0.4s each, so a SIGKILL lands mid-shard with -workers 1 but the whole
 // test stays in seconds.

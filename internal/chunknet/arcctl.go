@@ -12,6 +12,15 @@ package chunknet
 // (Not to be confused with arcState in arc.go, which is one direction of
 // one link; the name collision is historical — "arc" the graph edge
 // predates ARC the transport.)
+//
+// The stall timer is adaptive: request→data RTTs (first transmissions
+// only, per Karn's algorithm) feed an RFC 6298 SRTT/RTTVAR estimator, and
+// the timeout is SRTT + 4·RTTVAR with exponential backoff, floored at
+// Config.MinRTO and capped at the fixed Config.RTO. At small drop-tail
+// buffers this recovers from a lost request in a few RTTs instead of a
+// coarse 200ms stall.
+
+import "time"
 
 // arcStart opens an ARC flow: prime the request window and arm the stall
 // timer.
@@ -22,9 +31,11 @@ func (s *Sim) arcStart(f *flowState) {
 
 // arcRequestMore issues requests while the AIMD window has room. Each
 // request asks for exactly one chunk; the sender answers with that chunk
-// and nothing else.
+// and nothing else. First transmissions are timestamped so the matching
+// delivery yields a request→data RTT sample for the adaptive stall timer.
 func (s *Sim) arcRequestMore(f *flowState) {
 	for f.nextReq < f.tr.Chunks && float64(f.arcOut) < f.cwnd {
+		f.reqSent[f.nextReq] = s.des.Now()
 		s.sendRequest(f, f.nextReq, false)
 		f.nextReq++
 		f.arcOut++
@@ -42,12 +53,17 @@ func (s *Sim) arcOnRequest(p *packet) {
 	s.sendChunkE2E(f, p.seq)
 }
 
-// arcOnData runs at the receiver on every delivery: decrement the
-// outstanding count, grow the window (slow start, then congestion
-// avoidance), detect holes — three deliveries past a missing chunk
-// trigger a fast re-request, the receiver-side analogue of triple
-// duplicate acks — and refill the window.
+// arcOnData runs at the receiver on every delivery: sample the
+// request→data RTT (first transmissions only), decrement the outstanding
+// count, grow the window (slow start, then congestion avoidance), detect
+// holes — three deliveries past a missing chunk trigger a fast
+// re-request, the receiver-side analogue of triple duplicate acks — and
+// refill the window.
 func (s *Sim) arcOnData(f *flowState, seq int64) {
+	if sent, ok := f.reqSent[seq]; ok {
+		delete(f.reqSent, seq)
+		s.arcObserveRTT(f, s.des.Now()-sent)
+	}
 	if f.arcOut > 0 {
 		f.arcOut--
 	}
@@ -68,6 +84,10 @@ func (s *Sim) arcOnData(f *flowState, seq int64) {
 			f.dup = 0
 			f.lastNack = f.win.Next()
 			s.arcHalveWindow(f)
+			// Karn's algorithm: a re-requested chunk's eventual delivery
+			// must not produce an RTT sample — it could answer either
+			// transmission.
+			delete(f.reqSent, f.win.Next())
 			// The re-request reuses the lost request's outstanding slot
 			// (that request was counted but its data will never arrive),
 			// so arcOut must not grow — mirroring TCP pipe accounting.
@@ -93,19 +113,63 @@ func (s *Sim) arcHalveWindow(f *flowState) {
 	f.cwnd = f.ssthresh
 }
 
+// arcObserveRTT folds one request→data sample into the smoothed estimate
+// pair, RFC 6298-style, and releases any timeout backoff — fresh samples
+// mean the path is alive again.
+func (s *Sim) arcObserveRTT(f *flowState, rtt time.Duration) {
+	if f.srtt == 0 {
+		f.srtt = rtt
+		f.rttvar = rtt / 2
+	} else {
+		diff := f.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		f.rttvar = (3*f.rttvar + diff) / 4
+		f.srtt = (7*f.srtt + rtt) / 8
+	}
+	f.rtoScale = 0
+}
+
+// arcRTO computes the stall timer: SRTT + 4·RTTVAR, doubled per
+// consecutive timeout, floored at MinRTO and capped at the fixed RTO —
+// the adaptive timer is never slower than the legacy coarse one. Before
+// the first sample the fixed RTO stands in.
+func (s *Sim) arcRTO(f *flowState) time.Duration {
+	if f.srtt == 0 {
+		return s.cfg.RTO
+	}
+	rto := f.srtt + 4*f.rttvar
+	if rto < s.cfg.MinRTO {
+		rto = s.cfg.MinRTO
+	}
+	for i := uint(0); i < f.rtoScale && rto < s.cfg.RTO; i++ {
+		rto *= 2
+	}
+	if rto > s.cfg.RTO {
+		rto = s.cfg.RTO
+	}
+	return rto
+}
+
 // arcResetRTO (re)arms the receiver's stall timer.
 func (s *Sim) arcResetRTO(f *flowState) {
 	f.rto.cancel()
-	f.rto = &rtoTimer{t: s.des.After(s.cfg.RTO, func() { s.arcTimeout(f) })}
+	f.rto = &rtoTimer{t: s.des.After(s.arcRTO(f), func() { s.arcTimeout(f) })}
 }
 
-// arcTimeout is the coarse stall recovery: collapse the window to one
-// request and re-ask for the first missing chunk. When nothing is missing
-// the outstanding count merely drifted (a duplicate delivery was
-// discarded), so reset it and refill.
+// arcTimeout is the stall recovery: collapse the window to one request
+// and re-ask for the first missing chunk. When nothing is missing the
+// outstanding count merely drifted (a duplicate delivery was discarded),
+// so reset it and refill. Each consecutive timeout doubles the adaptive
+// timer (up to the fixed RTO cap), so a dead path backs off instead of
+// re-requesting at RTT cadence.
 func (s *Sim) arcTimeout(f *flowState) {
 	if f.done || f.win.Done() {
 		return
+	}
+	if f.rtoScale < 16 {
+		f.rtoScale++
 	}
 	f.ssthresh = f.cwnd / 2
 	if f.ssthresh < 2 {
@@ -114,6 +178,7 @@ func (s *Sim) arcTimeout(f *flowState) {
 	f.cwnd = 1
 	f.dup = 0
 	if f.win.Next() < f.nextReq {
+		delete(f.reqSent, f.win.Next()) // Karn: the resend answer is ambiguous
 		s.sendRequest(f, f.win.Next(), true)
 		f.arcOut = 1
 	} else {

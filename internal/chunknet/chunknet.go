@@ -71,8 +71,13 @@ type Config struct {
 	// fractions that trigger and release back-pressure (defaults 0.7/0.3).
 	BackpressureHigh, BackpressureLow float64
 
-	// RTO is the AIMD retransmission timeout (default 200ms).
+	// RTO is the AIMD retransmission timeout and the ARC stall timer's
+	// upper bound and pre-sample fallback (default 200ms). AIMD keeps the
+	// fixed timer; ARC adapts below it from measured RTTs.
 	RTO time.Duration
+	// MinRTO floors ARC's adaptive stall timer (default 10ms). Setting it
+	// equal to RTO pins the timer to the fixed legacy behaviour.
+	MinRTO time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -108,6 +113,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.RTO == 0 {
 		c.RTO = 200 * time.Millisecond
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 10 * time.Millisecond
 	}
 }
 
@@ -262,6 +270,9 @@ func (s *Sim) AddTransfer(tr Transfer) error {
 		ssthresh:   64,
 		lastCum:    -1,
 		lastNack:   -1, // chunk 0 must be NACKable/re-requestable
+	}
+	if s.cfg.Transport == ARC {
+		f.reqSent = make(map[int64]time.Duration)
 	}
 	s.flows[tr.ID] = f
 	s.flowIDs = append(s.flowIDs, tr.ID)

@@ -281,6 +281,69 @@ func TestARCDropsAtBottleneck(t *testing.T) {
 	}
 }
 
+// arcSmallBufferRun executes the adaptive-RTO regression scenario: a 20×
+// bottleneck behind a 3-chunk drop-tail buffer, where losses are certain
+// and recovery speed is set by the stall timer. minRTO = rto pins the
+// timer to the legacy fixed behaviour for comparison.
+func arcSmallBufferRun(t *testing.T, horizon time.Duration, minRTO time.Duration) *Report {
+	t.Helper()
+	g := topo.New("chain")
+	g.AddNodes(3)
+	g.MustAddLink(0, 1, 100*units.Mbps, time.Millisecond)
+	g.MustAddLink(1, 2, 5*units.Mbps, time.Millisecond)
+	s, err := New(Config{
+		Graph:      g,
+		Transport:  ARC,
+		ChunkSize:  10 * units.KB,
+		QueueBytes: 30 * units.KB, // 3 chunks: every probe overshoot drops
+		MinRTO:     minRTO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransfer(Transfer{ID: 1, Src: 0, Dst: 2, Chunks: 600}); err != nil {
+		t.Fatal(err)
+	}
+	return s.Run(horizon)
+}
+
+// TestARCAdaptiveRTOAtSmallBuffers is the regression test for the
+// RTT-tracked stall timer: with a 3-chunk buffer, the adaptive timer
+// (RTT ≈ 20ms at this chain's bottleneck) must recover lost requests far
+// faster than the legacy fixed 200ms timer, delivering strictly more in
+// the same horizon — and still finish the transfer.
+func TestARCAdaptiveRTOAtSmallBuffers(t *testing.T) {
+	const horizon = 6 * time.Second
+	adaptive := arcSmallBufferRun(t, horizon, 0) // default 10ms floor
+	legacy := arcSmallBufferRun(t, horizon, 200*time.Millisecond)
+
+	if adaptive.ChunksDropped == 0 {
+		t.Fatal("small buffer produced no drops; scenario cannot exercise recovery")
+	}
+	if adaptive.DeliveredPerFlow[1] <= legacy.DeliveredPerFlow[1] {
+		t.Errorf("adaptive RTO delivered %d ≤ legacy fixed RTO %d at a small buffer",
+			adaptive.DeliveredPerFlow[1], legacy.DeliveredPerFlow[1])
+	}
+	full := arcSmallBufferRun(t, 60*time.Second, 0)
+	if full.DeliveredPerFlow[1] != 600 {
+		t.Errorf("adaptive ARC delivered %d of 600", full.DeliveredPerFlow[1])
+	}
+	if _, ok := full.Completions[1]; !ok {
+		t.Error("adaptive ARC transfer did not complete")
+	}
+}
+
+// TestARCAdaptiveRTODeterministic: the RTT-tracked timer must not
+// introduce schedule dependence — two identical runs report identically.
+func TestARCAdaptiveRTODeterministic(t *testing.T) {
+	a := arcSmallBufferRun(t, 5*time.Second, 0)
+	b := arcSmallBufferRun(t, 5*time.Second, 0)
+	if a.ChunksDelivered != b.ChunksDelivered || a.ChunksDropped != b.ChunksDropped ||
+		a.Retransmits != b.Retransmits || a.Completions[1] != b.Completions[1] {
+		t.Errorf("two identical ARC runs diverge: %+v vs %+v", a, b)
+	}
+}
+
 func TestARCMultipleFlowsComplete(t *testing.T) {
 	g := topo.Star(3)
 	s, err := New(Config{Graph: g, Transport: ARC, ChunkSize: 10 * units.KB})

@@ -45,6 +45,14 @@ type flowState struct {
 
 	// ARC receiver: requests issued but not yet answered by data.
 	arcOut int64
+	// ARC adaptive RTO state (RFC 6298 over request→data samples): the
+	// send time of each outstanding first-transmission request (resends
+	// are never sampled — Karn's algorithm), the smoothed RTT estimate
+	// pair, and the exponential timeout backoff applied after each stall.
+	reqSent  map[int64]time.Duration
+	srtt     time.Duration
+	rttvar   time.Duration
+	rtoScale uint
 }
 
 // arrive dispatches a packet that reached the far end of arc a.

@@ -127,11 +127,14 @@ type CustodyRun struct {
 // restarting.
 func Custody(cfg CustodyConfig) (*CustodyResult, error) {
 	cfg.applyDefaults()
-	results, err := runExperiment(cfg.Workers, cfg.Shard, cfg.Checkpoint, custodyLabel(cfg), custodyScenarios(cfg))
+	aggs, failed, err := runExperiment(cfg.Workers, cfg.Shard, cfg.Checkpoint, custodyLabel(cfg), custodyScenarios(cfg))
 	if err != nil {
 		return nil, err
 	}
-	return custodyCollect(cfg, results)
+	if len(failed) > 0 {
+		return nil, fmt.Errorf("custody %w", failed[0].Err)
+	}
+	return custodyCollect(cfg, aggs)
 }
 
 // CustodyMerge combines the checkpoints of a distributed custody run —
@@ -140,11 +143,11 @@ func Custody(cfg CustodyConfig) (*CustodyResult, error) {
 // shard sets and incomplete coverage are all rejected loudly.
 func CustodyMerge(cfg CustodyConfig, checkpoints ...string) (*CustodyResult, error) {
 	cfg.applyDefaults()
-	results, err := sweep.MergeCheckpoints(custodyLabel(cfg), custodyScenarios(cfg), checkpoints...)
+	aggs, err := mergeExperiment(custodyLabel(cfg), custodyScenarios(cfg), checkpoints...)
 	if err != nil {
 		return nil, err
 	}
-	return custodyCollect(cfg, results)
+	return custodyCollect(cfg, aggs)
 }
 
 // custodyScenarios expands the transport grid. cfg must already have
@@ -166,20 +169,15 @@ func custodyLabel(cfg CustodyConfig) string {
 		cfg.IngressRate, cfg.EgressRate, cfg.Custody, cfg.Buffer, cfg.ChunkSize, cfg.Chunks, cfg.Horizon)
 }
 
-// custodyCollect folds sweep results into the experiment's comparison.
-// Results the process never ran (another shard's transports) are
-// skipped, so a sharded run yields a partial — but never wrong — result.
-func custodyCollect(cfg CustodyConfig, results []sweep.Result) (*CustodyResult, error) {
-	for _, r := range results {
-		if r.Err != nil && !sweep.Skipped(r) {
-			return nil, fmt.Errorf("custody %w", r.Err)
-		}
-	}
-
+// custodyCollect folds per-point aggregates into the experiment's
+// comparison. Points the process never ran (another shard's transports)
+// are absent, so a sharded run yields a partial — but never wrong —
+// result.
+func custodyCollect(cfg CustodyConfig, aggs []sweep.Aggregate) (*CustodyResult, error) {
 	res := &CustodyResult{
 		HoldSeconds: cfg.IngressRate.TransmissionTime(cfg.Custody).Seconds(),
 	}
-	for _, a := range sweep.Aggregated(results) {
+	for _, a := range aggs {
 		run := CustodyRun{
 			Delivered:      int64(a.Mean("delivered")),
 			Dropped:        int64(a.Mean("dropped")),

@@ -11,31 +11,56 @@ import (
 // grids: an optional shard restricts execution to one slice of the
 // deterministic partition, and an optional checkpoint file both restores
 // previously completed scenarios and streams new completions to disk.
+// Results fold into a streaming exact-mode Accumulator as workers finish
+// (the experiments keep raw stretch samples for their CDF reports, so the
+// sketch representation stays a cmd/sweep concern), and the per-point
+// aggregates come back with any failed results for the caller to report.
 // It is the shared engine behind Fig4 and Custody, so the two
-// multi-scenario experiment drivers can be split across machines with
-// the same guarantees as a CLI sweep: byte-identical aggregate output at
-// any worker count, across kill/resume, and — after Fig4Merge or
-// CustodyMerge — at any shard count.
-func runExperiment(workers int, shard sweep.Shard, checkpoint, label string, scenarios []sweep.Scenario) ([]sweep.Result, error) {
+// multi-scenario experiment drivers can be split across machines with the
+// same guarantees as a CLI sweep: byte-identical aggregate output at any
+// worker count, across kill/resume, and — after Fig4Merge or CustodyMerge —
+// at any shard count.
+func runExperiment(workers int, shard sweep.Shard, checkpoint, label string, scenarios []sweep.Scenario) ([]sweep.Aggregate, []sweep.Result, error) {
 	if err := shard.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	acc := sweep.NewAccumulator(sweep.AccumulatorConfig{Mode: sweep.AggExact}, scenarios)
 	runner := &sweep.Runner{Workers: workers, Shard: shard}
+	var (
+		failed []sweep.Result
+		err    error
+	)
 	if checkpoint == "" {
-		return runner.Run(context.Background(), scenarios), nil
+		failed, err = runner.Accumulate(context.Background(), scenarios, acc)
+	} else {
+		cp, cerr := sweep.NewCheckpoint(checkpoint, label)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		runner.Progress = cp.Progress(nil)
+		_, failed, err = runner.ResumeCheckpointAccumulate(context.Background(), checkpoint, label, scenarios, acc, nil)
+		if cerr := cp.Close(); cerr != nil {
+			return nil, nil, fmt.Errorf("experiments: checkpoint: %w", cerr)
+		}
 	}
-	prior, _, err := sweep.LoadCheckpoint(checkpoint, label, scenarios)
 	if err != nil {
+		return nil, nil, err
+	}
+	aggs, err := acc.Aggregates()
+	if err != nil {
+		return nil, nil, err
+	}
+	return aggs, failed, nil
+}
+
+// mergeExperiment recombines shard checkpoint files into the experiment's
+// aggregates without executing any scenario, streaming each record through
+// an exact-mode accumulator in scenario order — the aggregates are
+// byte-identical to an unsharded run's.
+func mergeExperiment(label string, scenarios []sweep.Scenario, checkpoints ...string) ([]sweep.Aggregate, error) {
+	acc := sweep.NewAccumulator(sweep.AccumulatorConfig{Mode: sweep.AggExact}, scenarios)
+	if err := sweep.MergeCheckpointsInto(acc, label, scenarios, checkpoints...); err != nil {
 		return nil, err
 	}
-	cp, err := sweep.NewCheckpoint(checkpoint, label)
-	if err != nil {
-		return nil, err
-	}
-	runner.Progress = cp.Progress(nil)
-	results := runner.Resume(context.Background(), scenarios, prior)
-	if err := cp.Close(); err != nil {
-		return nil, fmt.Errorf("experiments: checkpoint: %w", err)
-	}
-	return results, nil
+	return acc.Aggregates()
 }

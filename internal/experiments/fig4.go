@@ -129,11 +129,14 @@ func Fig4(cfg Fig4Config) ([]Fig4TopoResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, err := runExperiment(cfg.Workers, cfg.Shard, cfg.Checkpoint, label, scenarios)
+	aggs, failed, err := runExperiment(cfg.Workers, cfg.Shard, cfg.Checkpoint, label, scenarios)
 	if err != nil {
 		return nil, err
 	}
-	return fig4Collect(cfg, results)
+	if len(failed) > 0 {
+		return nil, fmt.Errorf("fig4 %w", failed[0].Err)
+	}
+	return fig4Collect(cfg, aggs)
 }
 
 // Fig4Merge combines the checkpoints of a distributed Figure 4 run — one
@@ -147,11 +150,11 @@ func Fig4Merge(cfg Fig4Config, checkpoints ...string) ([]Fig4TopoResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	results, err := sweep.MergeCheckpoints(label, scenarios, checkpoints...)
+	aggs, err := mergeExperiment(label, scenarios, checkpoints...)
 	if err != nil {
 		return nil, err
 	}
-	return fig4Collect(cfg, results)
+	return fig4Collect(cfg, aggs)
 }
 
 // fig4Scenarios expands the Figure 4 grid and derives the config label
@@ -186,16 +189,11 @@ func fig4Scenarios(cfg Fig4Config) ([]sweep.Scenario, string, error) {
 	return scenarios, label, nil
 }
 
-// fig4Collect folds sweep results into per-topology figure rows. Results
-// the process never ran (another shard's scenarios) are skipped, so a
-// sharded run yields a partial — but never wrong — figure.
-func fig4Collect(cfg Fig4Config, results []sweep.Result) ([]Fig4TopoResult, error) {
-	for _, r := range results {
-		if r.Err != nil && !sweep.Skipped(r) {
-			return nil, fmt.Errorf("fig4 %w", r.Err)
-		}
-	}
-
+// fig4Collect folds per-point aggregates into per-topology figure rows.
+// Points the process never ran (another shard's scenarios) are absent from
+// the aggregates, so a sharded run yields a partial — but never wrong —
+// figure.
+func fig4Collect(cfg Fig4Config, aggs []sweep.Aggregate) ([]Fig4TopoResult, error) {
 	byISP := map[topo.ISP]*Fig4TopoResult{}
 	var out []Fig4TopoResult
 	for _, isp := range cfg.ISPs {
@@ -204,7 +202,7 @@ func fig4Collect(cfg Fig4Config, results []sweep.Result) ([]Fig4TopoResult, erro
 	for i := range out {
 		byISP[out[i].ISP] = &out[i]
 	}
-	for _, a := range sweep.Aggregated(results) {
+	for _, a := range aggs {
 		res := byISP[topo.ISP(a.Point.Get("isp"))]
 		pol := sweep.MustParsePolicy(a.Point.Get("policy"))
 		res.Throughput[pol] = a.Mean("demand_satisfied")

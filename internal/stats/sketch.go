@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GKSketch is a Greenwald–Khanna ε-approximate quantile summary: a bounded
+// substitute for a pooled sample slice when a sweep grows past what memory
+// holds. It maintains a sorted list of (value, g, Δ) tuples such that any
+// rank query is answered within ±⌈εN⌉ positions of the true rank, using
+// O((1/ε)·log(εN)) tuples instead of N samples.
+//
+// Determinism contract: a sketch's state is a pure function of its Add/Merge
+// call sequence — there is no randomness and no time dependence — so two
+// sketches fed the same operations in the same order are deeply equal and
+// answer every query identically. The sweep accumulator leans on this to
+// keep sketch-mode aggregation byte-identical across worker counts and
+// shard/merge schedules.
+//
+// Error bound (documented, test-enforced): Percentile(p) returns an observed
+// value whose rank r in the underlying stream satisfies
+//
+//	|r − ⌈p/100·N⌉| ≤ ⌈ε·N⌉
+//
+// where ε is Eps(). Adds never loosen ε. Merge(other) combines two streams
+// and loosens the bound to εa+εb (see Merge); the accumulator therefore
+// builds each per-point sketch by replaying samples in scenario order rather
+// than merging per-replica sketches, keeping ε fixed while still proving the
+// Merge path against its own documented bound.
+type GKSketch struct {
+	eps    float64
+	n      int64
+	tuples []gkTuple
+}
+
+// gkTuple summarises a run of consecutive samples: v is an observed value,
+// g the gap between this tuple's minimum possible rank and its
+// predecessor's, and d (Δ) the extra rank uncertainty. For every tuple the
+// invariant g+Δ ≤ 2εn holds after compression.
+type gkTuple struct {
+	v float64
+	g int64
+	d int64
+}
+
+// DefaultSketchEps is the rank-error fraction used when a caller passes a
+// non-positive ε: 1% of N, i.e. a p99 answered from the p98–p100 range.
+const DefaultSketchEps = 0.01
+
+// NewGKSketch returns an empty sketch with the given rank-error fraction.
+// eps ≤ 0 selects DefaultSketchEps; eps ≥ 0.5 is rejected because every
+// answer would then be vacuous.
+func NewGKSketch(eps float64) *GKSketch {
+	if eps <= 0 {
+		eps = DefaultSketchEps
+	}
+	if eps >= 0.5 {
+		panic(fmt.Sprintf("stats: sketch eps %g must be < 0.5", eps))
+	}
+	return &GKSketch{eps: eps}
+}
+
+// Eps returns the sketch's current documented rank-error fraction. It grows
+// only through Merge.
+func (s *GKSketch) Eps() float64 { return s.eps }
+
+// N returns the number of observations summarised.
+func (s *GKSketch) N() int64 { return s.n }
+
+// Size returns the tuple count — the sketch's actual memory footprint, for
+// tests and benchmarks asserting boundedness.
+func (s *GKSketch) Size() int { return len(s.tuples) }
+
+// Add records one observation.
+func (s *GKSketch) Add(x float64) {
+	i := sort.Search(len(s.tuples), func(i int) bool { return s.tuples[i].v >= x })
+	t := gkTuple{v: x, g: 1}
+	if i > 0 && i < len(s.tuples) {
+		// Interior insertions inherit the full current uncertainty; the
+		// ends stay exact so Min/Max-style queries are always sharp.
+		t.d = int64(2 * s.eps * float64(s.n))
+	}
+	s.tuples = append(s.tuples, gkTuple{})
+	copy(s.tuples[i+1:], s.tuples[i:])
+	s.tuples[i] = t
+	s.n++
+	if every := s.compressEvery(); s.n%every == 0 {
+		s.compress()
+	}
+}
+
+// compressEvery is the insertion period between compressions, ⌊1/(2ε)⌋.
+func (s *GKSketch) compressEvery() int64 {
+	every := int64(1 / (2 * s.eps))
+	if every < 1 {
+		every = 1
+	}
+	return every
+}
+
+// compress removes tuples whose rank information their successor can carry
+// without violating g+Δ ≤ 2εn. The first and last tuples are always kept.
+func (s *GKSketch) compress() {
+	tuples := s.tuples
+	if len(tuples) < 3 {
+		return
+	}
+	limit := int64(2 * s.eps * float64(s.n))
+	// Scan backward, compacting kept tuples toward the end of the slice:
+	// tuples[w:] is always the kept suffix and tuples[w] the current
+	// tuple's immediate kept successor.
+	w := len(tuples) - 1
+	for i := len(tuples) - 2; i >= 1; i-- {
+		if tuples[i].g+tuples[w].g+tuples[w].d <= limit {
+			tuples[w].g += tuples[i].g
+		} else {
+			w--
+			tuples[w] = tuples[i]
+		}
+	}
+	w--
+	tuples[w] = tuples[0]
+	copy(tuples, tuples[w:])
+	s.tuples = tuples[:len(tuples)-w]
+}
+
+// Percentile returns a value whose rank is within ⌈εN⌉ of ⌈p/100·N⌉, for p
+// in [0,100] (clamped). Unlike stats.Percentile it returns an actually
+// observed value rather than interpolating. An empty sketch yields zero.
+func (s *GKSketch) Percentile(p float64) float64 {
+	if s.n == 0 || len(s.tuples) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	margin := int64(math.Ceil(s.eps * float64(s.n)))
+	var rmin int64
+	for i := 0; i+1 < len(s.tuples); i++ {
+		rmin += s.tuples[i].g
+		next := s.tuples[i+1]
+		if rmin+next.g+next.d > rank+margin {
+			return s.tuples[i].v
+		}
+	}
+	return s.tuples[len(s.tuples)-1].v
+}
+
+// Quantile is Percentile with q in [0,1], mirroring ECDF.Quantile.
+func (s *GKSketch) Quantile(q float64) float64 { return s.Percentile(q * 100) }
+
+// Merge folds other into s, summarising the concatenation of both streams.
+// The documented error bound loosens to s.Eps()+other.Eps() — merged
+// uncertainties add — which repeated merging compounds; callers that need a
+// fixed ε across a whole sweep should replay raw samples into one sketch in
+// a deterministic order instead (as sweep.Accumulator does) and reserve
+// Merge for combining already-bounded partial sketches. Merging into an
+// empty sketch copies other (bound max of the two). other is not modified.
+func (s *GKSketch) Merge(other *GKSketch) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		if other.eps > s.eps {
+			s.eps = other.eps
+		}
+		s.n = other.n
+		s.tuples = append(s.tuples[:0], other.tuples...)
+		return
+	}
+	merged := make([]gkTuple, 0, len(s.tuples)+len(other.tuples))
+	a, b := s.tuples, other.tuples
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var t gkTuple
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].v <= b[j].v):
+			t = a[i]
+			i++
+			if j < len(b) {
+				// The other stream hides up to g+Δ−1 samples between this
+				// value and the other side's next tuple.
+				t.d += b[j].g + b[j].d - 1
+			}
+		default:
+			t = b[j]
+			j++
+			if i < len(a) {
+				t.d += a[i].g + a[i].d - 1
+			}
+		}
+		merged = append(merged, t)
+	}
+	s.tuples = merged
+	s.n += other.n
+	s.eps += other.eps
+	s.compress()
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// checkSketchBound asserts that every queried percentile of the sketch lies
+// within its documented rank bound of the exact distribution: the returned
+// value must fall between the samples at ranks ⌈pN/100⌉∓⌈εN⌉.
+func checkSketchBound(t *testing.T, name string, s *GKSketch, samples []float64) {
+	t.Helper()
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	margin := int(math.Ceil(s.Eps() * float64(n)))
+	for _, p := range []float64{0, 1, 5, 10, 25, 50, 75, 90, 95, 99, 100} {
+		got := s.Percentile(p)
+		rank := int(math.Ceil(p / 100 * float64(n)))
+		if rank < 1 {
+			rank = 1
+		}
+		lo, hi := rank-1-margin, rank-1+margin
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		if got < sorted[lo] || got > sorted[hi] {
+			t.Errorf("%s: p%g = %g outside rank bound [%g, %g] (n=%d eps=%g margin=%d)",
+				name, p, got, sorted[lo], sorted[hi], n, s.Eps(), margin)
+		}
+	}
+}
+
+func TestGKSketchBoundAcrossDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func(n int) []float64{
+		"uniform": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64()
+			}
+			return xs
+		},
+		"sorted": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+			return xs
+		},
+		"reversed": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(n - i)
+			}
+			return xs
+		},
+		"heavy-dup": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(rng.Intn(5))
+			}
+			return xs
+		},
+		"lognormal-ish": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = math.Exp(rng.NormFloat64())
+			}
+			return xs
+		},
+	}
+	for name, gen := range dists {
+		for _, n := range []int{1, 2, 7, 100, 3000, 20000} {
+			for _, eps := range []float64{0.05, 0.01} {
+				samples := gen(n)
+				s := NewGKSketch(eps)
+				for _, x := range samples {
+					s.Add(x)
+				}
+				if s.N() != int64(n) {
+					t.Fatalf("%s n=%d: N() = %d", name, n, s.N())
+				}
+				checkSketchBound(t, name, s, samples)
+			}
+		}
+	}
+}
+
+func TestGKSketchBoundedSize(t *testing.T) {
+	// The whole point: tuple count must stay far below N. For ε=0.01 the
+	// theoretical bound is O((1/ε)·log(εN)); assert a generous envelope so
+	// a regression to linear growth fails loudly without pinning theory.
+	rng := rand.New(rand.NewSource(7))
+	s := NewGKSketch(0.01)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s.Add(rng.Float64())
+	}
+	if s.Size() > 4000 {
+		t.Errorf("sketch holds %d tuples for %d samples; expected bounded (≤4000)", s.Size(), n)
+	}
+	if s.Size() >= n/20 {
+		t.Errorf("sketch size %d is not sublinear in n=%d", s.Size(), n)
+	}
+}
+
+func TestGKSketchDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	a, b := NewGKSketch(0.02), NewGKSketch(0.02)
+	for _, x := range xs {
+		a.Add(x)
+		b.Add(x)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two sketches fed the same Add sequence differ internally")
+	}
+}
+
+func TestGKSketchMergeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, parts := range []int{2, 3, 5} {
+		var all []float64
+		merged := NewGKSketch(0.01)
+		for p := 0; p < parts; p++ {
+			part := NewGKSketch(0.01)
+			n := 1000 + rng.Intn(4000)
+			for i := 0; i < n; i++ {
+				x := rng.Float64()*float64(p+1) - float64(p)
+				all = append(all, x)
+				part.Add(x)
+			}
+			merged.Merge(part)
+		}
+		// Merged bound is the sum of the parts' bounds (documented).
+		wantEps := float64(parts) * 0.01
+		if math.Abs(merged.Eps()-wantEps) > 1e-12 {
+			t.Errorf("parts=%d: merged eps = %g, want %g", parts, merged.Eps(), wantEps)
+		}
+		if merged.N() != int64(len(all)) {
+			t.Fatalf("parts=%d: merged N = %d, want %d", parts, merged.N(), len(all))
+		}
+		checkSketchBound(t, "merge", merged, all)
+	}
+}
+
+func TestGKSketchMergeIntoEmpty(t *testing.T) {
+	src := NewGKSketch(0.02)
+	for i := 0; i < 1000; i++ {
+		src.Add(float64(i))
+	}
+	dst := NewGKSketch(0.01)
+	dst.Merge(src)
+	if dst.N() != 1000 || dst.Eps() != 0.02 {
+		t.Errorf("merge into empty: N=%d eps=%g, want 1000/0.02", dst.N(), dst.Eps())
+	}
+	if got := dst.Percentile(50); got < 400 || got > 600 {
+		t.Errorf("p50 after copy-merge = %g", got)
+	}
+	// The source must not be modified.
+	if src.N() != 1000 {
+		t.Errorf("source mutated by merge: N=%d", src.N())
+	}
+	// Merging an empty or nil sketch is a no-op.
+	before := dst.N()
+	dst.Merge(NewGKSketch(0.01))
+	dst.Merge(nil)
+	if dst.N() != before {
+		t.Errorf("empty merge changed N: %d → %d", before, dst.N())
+	}
+}
+
+func TestGKSketchEdgeCases(t *testing.T) {
+	s := NewGKSketch(0)
+	if s.Eps() != DefaultSketchEps {
+		t.Errorf("default eps = %g", s.Eps())
+	}
+	if got := s.Percentile(50); got != 0 {
+		t.Errorf("empty sketch p50 = %g, want 0", got)
+	}
+	s.Add(3.5)
+	for _, p := range []float64{-10, 0, 50, 100, 250} {
+		if got := s.Percentile(p); got != 3.5 {
+			t.Errorf("single-sample p%g = %g, want 3.5", p, got)
+		}
+	}
+	if got := s.Quantile(0.5); got != 3.5 {
+		t.Errorf("Quantile(0.5) = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("eps ≥ 0.5 should panic")
+		}
+	}()
+	NewGKSketch(0.5)
+}

@@ -13,6 +13,16 @@ import (
 // Aggregate summarises all replicas of one grid point. Replica values and
 // samples are accumulated in scenario order, so aggregation over the same
 // result set is deterministic no matter how many workers produced it.
+//
+// Two representations exist. Exact aggregates (built by Aggregated, or by an
+// Accumulator in AggExact mode) keep every raw value in Series/Samples.
+// Sketch aggregates (an Accumulator in AggSketch mode, or AggAuto past its
+// sample budget) hold only streaming Summaries and bounded quantile sketches
+// in Stats/Sketches/SeriesSketches — O(sketch size) per point regardless of
+// replica or sample count. Summary (and therefore Table/CSV/JSON rendering)
+// is bit-identical between the two, because the streaming Summaries fold the
+// same values in the same order the exact path replays them; only Percentile
+// answers differ, within the sketch's documented rank-error bound.
 type Aggregate struct {
 	// Point is the grid cell being summarised.
 	Point Point
@@ -21,11 +31,22 @@ type Aggregate struct {
 	// Failed counts results excluded because they carried an error.
 	Failed int
 	// Series maps metric name → one value per successful replica, in
-	// scenario order.
+	// scenario order (exact representation only).
 	Series map[string][]float64
 	// Samples maps sample-set name → values pooled across replicas, in
-	// scenario order.
+	// scenario order (exact representation only).
 	Samples map[string][]float64
+	// Stats maps metric name → streamed replica summary (sketch
+	// representation only). Values fold in scenario order, so Summary
+	// returns bits identical to the exact path's.
+	Stats map[string]stats.Summary
+	// Sketches maps sample-set name → bounded quantile sketch (sketch
+	// representation only).
+	Sketches map[string]*stats.GKSketch
+	// SeriesSketches maps metric name → quantile sketch over the replica
+	// series (sketch representation only), serving Percentile's
+	// series fallback without retaining per-replica values.
+	SeriesSketches map[string]*stats.GKSketch
 }
 
 // Aggregated groups results by point (in first-appearance order) and folds
@@ -67,8 +88,13 @@ func Aggregated(results []Result) []Aggregate {
 	return out
 }
 
-// Summary returns the replica summary (mean/std/min/max) for a metric.
+// Summary returns the replica summary (mean/std/min/max) for a metric. Both
+// representations answer identically: the sketch path's streamed Summary
+// folded the same values in the same (scenario) order this loop replays.
 func (a *Aggregate) Summary(metric string) stats.Summary {
+	if s, ok := a.Stats[metric]; ok {
+		return s
+	}
 	var s stats.Summary
 	for _, v := range a.Series[metric] {
 		s.Add(v)
@@ -81,12 +107,33 @@ func (a *Aggregate) Mean(metric string) float64 { return a.Summary(metric).Mean(
 
 // Percentile returns the p-th percentile (p in [0,100]) over a pooled
 // sample set, falling back to the per-replica series when no sample set of
-// that name exists.
+// that name exists. Exact aggregates interpolate over the raw values; sketch
+// aggregates answer from the bounded sketch, within its documented
+// rank-error bound.
 func (a *Aggregate) Percentile(name string, p float64) float64 {
 	if xs, ok := a.Samples[name]; ok {
 		return stats.Percentile(xs, p)
 	}
+	if sk, ok := a.Sketches[name]; ok {
+		return sk.Percentile(p)
+	}
+	if sk, ok := a.SeriesSketches[name]; ok {
+		return sk.Percentile(p)
+	}
 	return stats.Percentile(a.Series[name], p)
+}
+
+// metricNames returns this aggregate's scalar metric names, from whichever
+// representation it carries.
+func (a *Aggregate) metricNames() map[string]bool {
+	seen := map[string]bool{}
+	for name := range a.Series {
+		seen[name] = true
+	}
+	for name := range a.Stats {
+		seen[name] = true
+	}
+	return seen
 }
 
 // MetricNames returns the union of scalar metric names across aggregates,
@@ -94,7 +141,7 @@ func (a *Aggregate) Percentile(name string, p float64) float64 {
 func MetricNames(aggs []Aggregate) []string {
 	seen := map[string]bool{}
 	for _, a := range aggs {
-		for name := range a.Series {
+		for name := range a.metricNames() {
 			seen[name] = true
 		}
 	}
@@ -209,7 +256,7 @@ func JSON(w io.Writer, aggs []Aggregate) error {
 		for _, kv := range a.Point {
 			j.Point[kv.Key] = kv.Value
 		}
-		for name := range a.Series {
+		for name := range a.metricNames() {
 			s := a.Summary(name)
 			j.Mean[name] = s.Mean()
 			j.Std[name] = s.Std()

@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
@@ -32,6 +33,88 @@ func benchScenarios() []Scenario {
 		spec.Policy = MustParsePolicy(pt.Get("policy"))
 		return spec.Run(seed)
 	})
+}
+
+// benchAggInput synthesises a grid's worth of completed results without
+// running any simulator: points × replicas scenarios, each carrying
+// samplesPer pooled samples — the aggregation-layer workload isolated from
+// scenario execution.
+func benchAggInput(points, replicas, samplesPer int) ([]Scenario, []Result) {
+	vals := make([]string, points)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("p%03d", i)
+	}
+	scenarios := NewGrid().Axis("p", vals...).Expand(1, replicas,
+		func(pt Point, replica int, seed int64) RunFunc { return nil })
+	results := make([]Result, len(scenarios))
+	for i, sc := range scenarios {
+		r := rand.New(rand.NewSource(sc.Seed))
+		m := NewMetrics()
+		m.Set("x", r.Float64())
+		m.Set("y", r.NormFloat64())
+		xs := make([]float64, samplesPer)
+		for j := range xs {
+			xs[j] = 1 + r.ExpFloat64()
+		}
+		m.AddSamples("s", xs...)
+		results[i] = Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Metrics: m}
+	}
+	return scenarios, results
+}
+
+// BenchmarkAggregate is the batch baseline: pool every raw sample of a
+// 10⁵-sample grid into []Aggregate. B/op scales with the sample count —
+// the memory wall the streaming accumulator removes.
+func BenchmarkAggregate(b *testing.B) {
+	_, results := benchAggInput(10, 10, 1000) // 10·10·1000 = 10⁵ samples
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aggs := Aggregated(results)
+		if len(aggs) != 10 {
+			b.Fatalf("aggregates = %d", len(aggs))
+		}
+	}
+}
+
+// BenchmarkAccumulator folds the same 10⁵-sample grid through the
+// streaming accumulator in exact and sketch mode. Compare B/op: exact
+// mirrors the batch path (it must keep every sample to stay
+// byte-identical); sketch mode holds bounded per-point state however many
+// samples stream through.
+func BenchmarkAccumulator(b *testing.B) {
+	scenarios, results := benchAggInput(10, 10, 1000)
+	for _, mode := range []AggMode{AggExact, AggSketch} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				acc := NewAccumulator(AccumulatorConfig{Mode: mode}, scenarios)
+				for _, r := range results {
+					if err := acc.Observe(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				aggs, err := acc.Aggregates()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == AggSketch {
+					// The bounded-memory claim, enforced: every per-point
+					// sketch stays orders of magnitude below its sample
+					// count.
+					for _, a := range aggs {
+						for name, sk := range a.Sketches {
+							if sk.Size() > 2000 {
+								b.Fatalf("%s %s: sketch holds %d tuples for %d samples",
+									a.Point.Key(), name, sk.Size(), sk.N())
+							}
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(len(results)), "results")
+		})
+	}
 }
 
 // BenchmarkSweepWorkers times the same 32-scenario sweep at 1 worker and at

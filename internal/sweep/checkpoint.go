@@ -15,6 +15,12 @@ import (
 // file, so Runner.Resume executes exactly those.
 var ErrNotRun = errors.New("sweep: scenario not yet run")
 
+// maxCheckpointLine bounds one checkpoint record's line length (64 MiB ≈
+// 3M pooled float64 samples in one scenario). The aligned loader and the
+// streaming scanners enforce the same cap, so a file is rejected — or
+// accepted — identically on every path.
+const maxCheckpointLine = 64 * 1024 * 1024
+
 // CheckpointRecord is the stable JSONL shape of one checkpointed result:
 // the scenario identity (name, point, replica, seed) plus its metrics.
 // Only successful results are persisted — an errored scenario must re-run
@@ -223,29 +229,14 @@ func LoadCheckpoint(path, label string, scenarios []Scenario) ([]Result, int, er
 
 	loaded := 0
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1024*1024), 64*1024*1024)
+	sc.Buffer(make([]byte, 0, 1024*1024), maxCheckpointLine)
 	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+		i, rec, skip, err := classifyCheckpointLine(sc.Bytes(), path, scenarios, index)
+		if err != nil {
+			return nil, 0, err
+		}
+		if skip {
 			continue
-		}
-		var hdr checkpointHeader
-		if json.Unmarshal(line, &hdr) == nil && hdr.Sweep != "" {
-			continue // the header line, already verified above
-		}
-		var rec CheckpointRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn line from a killed writer; the scenario it would
-			// have recorded simply re-runs.
-			continue
-		}
-		i, ok := index[rec.Name]
-		if !ok {
-			return nil, 0, fmt.Errorf("sweep: checkpoint %s records unknown scenario %q (different grid?)", path, rec.Name)
-		}
-		if rec.Seed != scenarios[i].Seed {
-			return nil, 0, fmt.Errorf("sweep: checkpoint %s scenario %q has seed %d, grid derives %d (different master seed?)",
-				path, rec.Name, rec.Seed, scenarios[i].Seed)
 		}
 		if results[i].Err == nil {
 			continue // duplicate record (recorded again after a resume); first wins
@@ -258,4 +249,36 @@ func LoadCheckpoint(path, label string, scenarios []Scenario) ([]Result, int, er
 		return nil, 0, fmt.Errorf("sweep: read checkpoint: %w", err)
 	}
 	return results, loaded, nil
+}
+
+// classifyCheckpointLine applies the checkpoint scan rules — shared by
+// LoadCheckpoint and the streaming merge, which must accept and reject
+// exactly the same lines. Blank lines, the header line, and torn
+// (unparseable) lines from a killed writer are skipped; records naming a
+// scenario the grid cannot derive, or disagreeing with its derived seed,
+// fail loudly; everything else returns the scenario index and the parsed
+// record. index must map each scenario's Name to its position in
+// scenarios.
+func classifyCheckpointLine(line []byte, path string, scenarios []Scenario, index map[string]int) (i int, rec CheckpointRecord, skip bool, err error) {
+	if len(line) == 0 {
+		return 0, rec, true, nil
+	}
+	var hdr checkpointHeader
+	if json.Unmarshal(line, &hdr) == nil && hdr.Sweep != "" {
+		return 0, rec, true, nil // the header line, verified on open
+	}
+	if json.Unmarshal(line, &rec) != nil {
+		// A torn line from a killed writer; the scenario it would have
+		// recorded simply re-runs (or stays missing in a merge).
+		return 0, rec, true, nil
+	}
+	i, ok := index[rec.Name]
+	if !ok {
+		return 0, rec, false, fmt.Errorf("sweep: checkpoint %s records unknown scenario %q (different grid?)", path, rec.Name)
+	}
+	if rec.Seed != scenarios[i].Seed {
+		return 0, rec, false, fmt.Errorf("sweep: checkpoint %s scenario %q has seed %d, grid derives %d (different master seed?)",
+			path, rec.Name, rec.Seed, scenarios[i].Seed)
+	}
+	return i, rec, false, nil
 }

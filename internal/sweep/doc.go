@@ -27,6 +27,14 @@
 //     MergeCheckpoints recombines the N files — validating same
 //     grid/master-seed/config, rejecting overlaps, naming gaps — into
 //     output byte-identical to an unsharded run at any shard count.
+//   - Bounded aggregation: an Accumulator folds results into per-point
+//     aggregates as workers finish (Runner.Accumulate, or record-at-a-time
+//     from shard files via MergeCheckpointsInto), reordered behind a
+//     cursor so streaming changes memory, never bytes. AggExact keeps raw
+//     samples; AggSketch swaps the sample pools for bounded quantile
+//     sketches (stats.GKSketch) whose percentile error is test-enforced;
+//     AggAuto cuts over from the former to the latter at a sample budget,
+//     bit-identically to a pure run of either.
 //
 // Two scenario constructors cover the repo's simulators: FlowSpec builds
 // flow-level scenarios (the Figure 4 recipe: ISP topology + Poisson

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -50,8 +52,207 @@ func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
 		}
 		indices = append(indices, i)
 	}
-	r.run(ctx, scenarios, results, indices)
+	r.run(ctx, scenarios, indices, func(i int, res Result) { results[i] = res })
 	return results
+}
+
+// Accumulate executes the scenarios like Run but folds every result into
+// acc as workers finish, never materialising the full result slice — the
+// streaming path for grids whose pooled results exceed memory. Scenarios
+// outside the runner's shard are observed as ErrOtherShard (excluded from
+// aggregation, exactly as Run marks them). The returned slice holds only
+// the results that ran and failed, in scenario order, for error reporting;
+// the error is the first accumulator rejection (a wiring bug such as a
+// scenario list acc was not built for), if any.
+func (r *Runner) Accumulate(ctx context.Context, scenarios []Scenario, acc *Accumulator) ([]Result, error) {
+	obs := &resultObserver{acc: acc}
+	indices := make([]int, 0, len(scenarios))
+	for i, sc := range scenarios {
+		if !r.Shard.Contains(sc) {
+			obs.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
+			continue
+		}
+		indices = append(indices, i)
+	}
+	r.run(ctx, scenarios, indices, obs.observe)
+	return obs.done()
+}
+
+// ResumeAccumulate is Resume on the streaming path: prior results without
+// an error feed acc as restored scenarios, errored ones (typically
+// ErrNotRun placeholders from LoadCheckpoint, or context.Canceled from an
+// interrupted run) re-execute, and — with Shard set — scenarios outside the
+// shard are observed as ErrOtherShard whatever their prior state. The
+// return values are those of Accumulate.
+func (r *Runner) ResumeAccumulate(ctx context.Context, scenarios []Scenario, prior []Result, acc *Accumulator) ([]Result, error) {
+	if len(prior) != len(scenarios) {
+		panic(fmt.Sprintf("sweep: ResumeAccumulate with %d results for %d scenarios", len(prior), len(scenarios)))
+	}
+	obs := &resultObserver{acc: acc}
+	var pending []int
+	for i, res := range prior {
+		sc := scenarios[i]
+		if !r.Shard.Contains(sc) {
+			obs.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
+			continue
+		}
+		if res.Err != nil {
+			pending = append(pending, i)
+			continue
+		}
+		obs.observe(i, res)
+	}
+	r.run(ctx, scenarios, pending, obs.observe)
+	return obs.done()
+}
+
+// ResumeCheckpointAccumulate is the streaming resume: it byte-offset-
+// indexes the checkpoint file's records, executes only the scenarios the
+// file does not cover, and feeds each restored record straight from disk
+// into acc the moment the fold cursor reaches it — never materialising
+// the restored []Result, so a sketch-mode resume of an arbitrarily large
+// checkpoint aggregates in bounded memory (the prior-slice
+// ResumeAccumulate necessarily peaks at the caller's restored pool). A
+// missing file runs everything, like LoadCheckpoint; validation is
+// LoadCheckpoint's, record for record. It returns the restored-scenario
+// count alongside Accumulate's results; onRestored, when non-nil, receives
+// that count after indexing but before any scenario executes, so a CLI can
+// confirm the restore up front instead of hours later. The file must not
+// be rewritten during the run (appends — a live Checkpoint on the same
+// path recording re-run scenarios — are fine).
+func (r *Runner) ResumeCheckpointAccumulate(ctx context.Context, path, label string, scenarios []Scenario, acc *Accumulator, onRestored func(restored int)) (int, []Result, error) {
+	index := make(map[string]int, len(scenarios))
+	for i, sc := range scenarios {
+		index[sc.Name] = i
+	}
+	refs := make([]recordRef, len(scenarios))
+	for i := range refs {
+		refs[i].file = -1
+	}
+	f, err := os.Open(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		f = nil // nothing restored; every shard-owned scenario runs
+	case err != nil:
+		return 0, nil, fmt.Errorf("sweep: open checkpoint: %w", err)
+	default:
+		defer f.Close()
+		if err := checkHeader(f, path, label); err != nil {
+			return 0, nil, err
+		}
+		err = scanRecordOffsets(f, path, scenarios, index, func(i int, off int64, n int) error {
+			if refs[i].file < 0 { // duplicate record: first wins
+				refs[i] = recordRef{file: 0, off: off, n: n}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+
+	obs := &resultObserver{acc: acc}
+	restored := 0
+	var pending, restorable []int
+	for i, sc := range scenarios {
+		if !r.Shard.Contains(sc) {
+			obs.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
+			continue
+		}
+		if refs[i].file < 0 {
+			pending = append(pending, i)
+			continue
+		}
+		restorable = append(restorable, i)
+		restored++
+	}
+	if onRestored != nil {
+		onRestored(restored)
+	}
+
+	// feed reads restored records from disk exactly when the fold cursor
+	// reaches them, so they fold immediately instead of parking in the
+	// accumulator's pending set: restorable is ascending, and a record is
+	// only read once every earlier scenario has been folded.
+	var (
+		feedMu sync.Mutex
+		pos    int
+		buf    []byte
+	)
+	feed := func() {
+		feedMu.Lock()
+		defer feedMu.Unlock()
+		for pos < len(restorable) && restorable[pos] <= acc.Next() {
+			i := restorable[pos]
+			var res Result
+			var err error
+			res, buf, err = readRecordAt(f, path, refs[i], scenarios[i], buf)
+			if err != nil {
+				obs.fail(err)
+				return
+			}
+			obs.observe(i, res)
+			pos++
+		}
+	}
+	feed()
+	r.run(ctx, scenarios, pending, func(i int, res Result) {
+		obs.observe(i, res)
+		feed() // the cursor may now have reached parked restorable records
+	})
+	feed() // flush any restorable tail behind the last completion
+	failed, err := obs.done()
+	return restored, failed, err
+}
+
+// resultObserver serialises Accumulator feeding for the streaming runner
+// paths, capturing failed (non-skipped) results and the first observation
+// error.
+type resultObserver struct {
+	acc    *Accumulator
+	mu     sync.Mutex
+	err    error
+	failed []indexedResult
+}
+
+func (o *resultObserver) observe(i int, res Result) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err := o.acc.Observe(res); err != nil && o.err == nil {
+		o.err = err
+	}
+	if res.Err != nil && !Skipped(res) {
+		o.failed = append(o.failed, indexedResult{i, res})
+	}
+}
+
+// fail records an out-of-band error (e.g. a checkpoint reread failure).
+func (o *resultObserver) fail(err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.err == nil {
+		o.err = err
+	}
+}
+
+// done returns the failed results in scenario order — matching the order
+// Errored reports on the batch path — plus the first captured error.
+func (o *resultObserver) done() ([]Result, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	sort.Slice(o.failed, func(a, b int) bool { return o.failed[a].i < o.failed[b].i })
+	out := make([]Result, len(o.failed))
+	for i, f := range o.failed {
+		out[i] = f.res
+	}
+	return out, o.err
+}
+
+// indexedResult pairs a result with its scenario index so concurrent
+// failure capture can be re-sorted into scenario order.
+type indexedResult struct {
+	i   int
+	res Result
 }
 
 // Resume re-executes exactly the scenarios whose previous Result carries an
@@ -78,12 +279,15 @@ func (r *Runner) Resume(ctx context.Context, scenarios []Scenario, results []Res
 			pending = append(pending, i)
 		}
 	}
-	r.run(ctx, scenarios, patched, pending)
+	r.run(ctx, scenarios, pending, func(i int, res Result) { patched[i] = res })
 	return patched
 }
 
-// run executes scenarios[i] for each i in indices, writing results[i].
-func (r *Runner) run(ctx context.Context, scenarios []Scenario, results []Result, indices []int) {
+// run executes scenarios[i] for each i in indices, handing each completed
+// result to emit. emit is called from the worker goroutines, one call per
+// index, each index exactly once; the batch paths write a result slice, the
+// streaming paths fold into an Accumulator.
+func (r *Runner) run(ctx context.Context, scenarios []Scenario, indices []int, emit func(i int, res Result)) {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -116,8 +320,9 @@ func (r *Runner) run(ctx context.Context, scenarios []Scenario, results []Result
 		go func() {
 			defer wg.Done()
 			for i := range queue {
-				results[i] = runOne(ctx, scenarios[i])
-				report(results[i])
+				res := runOne(ctx, scenarios[i])
+				emit(i, res)
+				report(res)
 			}
 		}()
 	}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/flowsim"
 	"repro/internal/report"
 	"repro/internal/route"
+	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/internal/units"
@@ -91,6 +92,17 @@ type (
 	// expanded scenario grid, so a sweep can be split across machines and
 	// recombined with MergeSweepCheckpoints.
 	SweepShard = sweep.Shard
+	// SweepAccumulator folds results into per-point aggregates as workers
+	// finish, instead of materialising the full result slice first.
+	SweepAccumulator = sweep.Accumulator
+	// SweepAccumulatorConfig parameterises NewSweepAccumulator.
+	SweepAccumulatorConfig = sweep.AccumulatorConfig
+	// SweepAggMode selects the accumulator's representation: exact raw
+	// pooling, bounded quantile sketches, or automatic cutover.
+	SweepAggMode = sweep.AggMode
+	// QuantileSketch is a mergeable bounded ε-approximate quantile summary
+	// (Greenwald–Khanna).
+	QuantileSketch = stats.GKSketch
 )
 
 // Common rate and size constants.
@@ -115,6 +127,19 @@ const (
 	INRPP = chunknet.INRPP
 	AIMD  = chunknet.AIMD
 	ARC   = chunknet.ARC
+)
+
+// Sweep aggregation modes.
+const (
+	// SweepAggExact pools every raw sample — byte-identical to the batch
+	// AggregateSweep path.
+	SweepAggExact = sweep.AggExact
+	// SweepAggSketch holds bounded quantile sketches: O(sketch) memory per
+	// grid point regardless of replica and sample counts.
+	SweepAggSketch = sweep.AggSketch
+	// SweepAggAuto starts exact and cuts over to sketches past the
+	// configured sample budget.
+	SweepAggAuto = sweep.AggAuto
 )
 
 // ISPs lists the nine Table 1 topologies.
@@ -218,6 +243,46 @@ func SweepResultSkipped(r SweepResult) bool { return sweep.Skipped(r) }
 func AggregateSweep(results []SweepResult) []SweepAggregate {
 	return sweep.Aggregated(results)
 }
+
+// NewSweepAccumulator returns a streaming accumulator for exactly the given
+// scenario list: results fold into per-point aggregates as they are
+// observed, in scenario order whatever the arrival order. In
+// SweepAggExact mode its aggregates render byte-identically to
+// AggregateSweep; in SweepAggSketch mode per-point memory stays bounded
+// and percentile queries answer within the sketches' documented error.
+func NewSweepAccumulator(cfg SweepAccumulatorConfig, scenarios []SweepScenario) *SweepAccumulator {
+	return sweep.NewAccumulator(cfg, scenarios)
+}
+
+// ParseSweepAggMode maps "exact"/"sketch"/"auto" (any case) to a
+// SweepAggMode.
+func ParseSweepAggMode(s string) (SweepAggMode, error) { return sweep.ParseAggMode(s) }
+
+// AccumulateSweep executes scenarios on a worker pool, folding every
+// result into acc as workers finish instead of materialising the result
+// slice. It returns only the results that ran and failed.
+func AccumulateSweep(ctx context.Context, workers int, scenarios []SweepScenario, acc *SweepAccumulator) ([]SweepResult, error) {
+	return (&sweep.Runner{Workers: workers}).Accumulate(ctx, scenarios, acc)
+}
+
+// ResumeAccumulateSweep is AccumulateSweep over a prior result set (a
+// loaded checkpoint, or a cancelled run): restored results feed the
+// accumulator, errored ones re-execute.
+func ResumeAccumulateSweep(ctx context.Context, workers int, scenarios []SweepScenario, prior []SweepResult, acc *SweepAccumulator) ([]SweepResult, error) {
+	return (&sweep.Runner{Workers: workers}).ResumeAccumulate(ctx, scenarios, prior, acc)
+}
+
+// MergeSweepCheckpointsInto is the streaming MergeSweepCheckpoints: shard
+// checkpoint records are validated, then re-read one at a time in scenario
+// order and folded into acc, so a sketch-mode merge of arbitrarily many
+// shards aggregates in bounded memory.
+func MergeSweepCheckpointsInto(acc *SweepAccumulator, label string, scenarios []SweepScenario, paths ...string) error {
+	return sweep.MergeCheckpointsInto(acc, label, scenarios, paths...)
+}
+
+// NewQuantileSketch returns an empty mergeable quantile sketch with the
+// given rank-error fraction (eps ≤ 0 selects the 1% default).
+func NewQuantileSketch(eps float64) *QuantileSketch { return stats.NewGKSketch(eps) }
 
 // SweepTable renders aggregates as a mean±std table.
 func SweepTable(title string, aggs []SweepAggregate, metrics ...string) *ReportTable {
