@@ -246,10 +246,96 @@ func BenchmarkAblationCacheSize(b *testing.B) {
 	}
 }
 
+// BenchmarkFig4Scaled exercises the flowsim allocator at the paper's
+// full Figure 4 scale — thousands of concurrently active flows on an ISP
+// topology — so allocator churn dominates the profile. The SP variant
+// isolates the max-min fill; INRP adds the pooling fixpoint. ReportAllocs
+// makes the allocator's per-event allocation churn a tracked metric: the
+// flow-class allocator must hold it near zero.
+func BenchmarkFig4Scaled(b *testing.B) {
+	for _, pol := range []flowsim.Policy{flowsim.SP, flowsim.INRP} {
+		b.Run(pol.String(), func(b *testing.B) {
+			g := topo.MustBuildISP(topo.Exodus)
+			g.SetAllCapacities(450 * units.Mbps)
+			flows := scaledWorkload(g, 5000)
+			var r *flowsim.Result
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = flowsim.Run(flowsim.Config{
+					Graph: g, Policy: pol, Flows: flows,
+					Horizon: 1500 * time.Millisecond, DemandCap: 300 * units.Mbps,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.DemandSatisfied, "throughput")
+		})
+	}
+}
+
+// BenchmarkChunknetFanIn exercises the chunk-level DES hot path: 64
+// concurrent transfers fan in from eight sources through a hub onto one
+// bottleneck egress, so per-packet forwarding, store churn and event
+// scheduling dominate. ReportAllocs tracks the per-packet/per-event
+// allocation churn the object pools must eliminate.
+func BenchmarkChunknetFanIn(b *testing.B) {
+	const (
+		leaves    = 8
+		transfers = 64
+	)
+	var delivered int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := topo.New("fanin")
+		g.AddNodes(leaves + 2)
+		hub, sink := topo.NodeID(leaves), topo.NodeID(leaves+1)
+		for l := 0; l < leaves; l++ {
+			g.MustAddLink(topo.NodeID(l), hub, 10*units.Gbps, time.Millisecond)
+		}
+		g.MustAddLink(hub, sink, 2*units.Gbps, time.Millisecond)
+		s, err := chunknet.New(chunknet.Config{
+			Graph: g, Transport: chunknet.INRPP,
+			ChunkSize: 100 * units.KB, Anticipation: 64,
+			CustodyBytes: 200 * units.MB, InitialRequestRate: units.Gbps,
+			Ti: 10 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for t := 0; t < transfers; t++ {
+			if err := s.AddTransfer(chunknet.Transfer{
+				ID: t + 1, Src: topo.NodeID(t % leaves), Dst: sink,
+				Chunks: 300, Start: time.Duration(t) * time.Millisecond,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep := s.Run(3 * time.Second)
+		delivered = rep.ChunksDelivered
+	}
+	b.ReportMetric(float64(delivered), "chunks")
+}
+
+// scaledWorkload builds a deterministic gravity workload whose arrivals
+// span ≈4s of virtual time at any count, so thousands of flows are
+// concurrently active within a short horizon.
+func scaledWorkload(g *topo.Graph, count int) []workload.Flow {
+	return benchWorkloadAt(g, count, float64(count)/4)
+}
+
 // benchWorkload builds a deterministic gravity workload for ablations.
 func benchWorkload(g *topo.Graph, count int) []workload.Flow {
+	return benchWorkloadAt(g, count, 30)
+}
+
+// benchWorkloadAt is the shared recipe: Poisson arrivals at the given
+// rate, heavy-tailed sizes, gravity endpoints — fixed seeds throughout.
+func benchWorkloadAt(g *topo.Graph, count int, rate float64) []workload.Flow {
 	return workload.Generate(workload.Spec{
-		Arrivals: workload.NewPoisson(30, 1),
+		Arrivals: workload.NewPoisson(rate, 1),
 		Sizes:    workload.NewBoundedPareto(1.5, 10*units.MB, 1200*units.MB, 2),
 		Matrix:   workload.NewGravity(g, 3),
 		Count:    count,

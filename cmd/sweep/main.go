@@ -48,6 +48,16 @@
 //	hostB$ sweep -mode chunk -shard 1/2 -checkpoint b.jsonl
 //	hostA$ sweep -mode chunk -merge a.jsonl,b.jsonl
 //
+// The default partition balances scenario counts; -shard-weighted
+// partitions by a per-scenario cost estimate instead (flows × horizon in
+// flow mode, chunks × transfers in chunk mode, assigned greedily
+// longest-first), so heterogeneous grids split by predicted wall-clock.
+// Every host must pass the same flags; the resulting checkpoints merge
+// exactly like hash-partitioned ones.
+//
+// -cpuprofile FILE and -memprofile FILE write pprof profiles of the
+// sweep for performance work (see the README benchmarking cookbook).
+//
 // The workload seed at each grid point is derived from the point minus
 // the comparison axis (policy in flow mode; transport/ac/custody in chunk
 // mode), so alternatives are measured under identical load; output is
@@ -60,6 +70,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -84,7 +96,10 @@ func main() {
 	sketchEps := flag.Float64("sketch-eps", 0, "sketch rank-error fraction (0 = default 0.01)")
 	aggBudget := flag.Int64("agg-budget", 0, "auto aggregation: pooled raw-sample budget before the sketch cutover (0 = default 2^20)")
 	shardStr := flag.String("shard", "", "run only shard i/n of the grid (0-based, e.g. 0/3); combine shard checkpoints with -merge")
+	shardWeighted := flag.Bool("shard-weighted", false, "partition -shard by per-scenario cost (greedy LPT: flows×horizon in flow mode, chunks×transfers in chunk mode) instead of the identity hash, balancing predicted wall-clock across heterogeneous grids")
 	mergeList := flag.String("merge", "", "merge shard checkpoint files (comma-separated JSONL paths) instead of running")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 
 	// Flow-mode axes and workload shape.
 	ispList := flag.String("isps", string(topo.Tiscali), "flow: comma-separated ISP topologies")
@@ -107,9 +122,21 @@ func main() {
 	bufferStr := flag.String("buffer", "25MB", "chunk: AIMD/ARC drop-tail buffer")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	memProfilePath = *memprofile
+
 	var (
 		scenarios []sweep.Scenario
 		label     string
+		costFn    sweep.CostFunc
 	)
 	switch *mode {
 	case "flow":
@@ -123,6 +150,11 @@ func main() {
 		})
 		label = fmt.Sprintf("flow capacity=%s demand=%s size=%s lambda=%g horizon=%s",
 			*capStr, *demandStr, *sizeStr, *lambda, *horizon)
+		horizonSecs := horizon.Seconds()
+		costFn = func(sc sweep.Scenario) float64 {
+			n, _ := strconv.Atoi(sc.Point.Get("flows"))
+			return float64(n) * horizonSecs
+		}
 	case "chunk":
 		if *horizon == 0 {
 			*horizon = 5 * time.Second
@@ -135,6 +167,11 @@ func main() {
 		})
 		label = fmt.Sprintf("chunk ingress=%s egress=%s chunksize=%s chunks=%d buffer=%s horizon=%s",
 			*ingressStr, *egressStr, *chunkSizeStr, *chunks, *bufferStr, *horizon)
+		chunksPer := float64(*chunks)
+		costFn = func(sc sweep.Scenario) float64 {
+			transfers, _ := strconv.Atoi(sc.Point.Get("transfers"))
+			return chunksPer * float64(transfers)
+		}
 	default:
 		fatal(fmt.Errorf("unknown mode %q (known: flow, chunk)", *mode))
 	}
@@ -145,6 +182,21 @@ func main() {
 		if shard, err = sweep.ParseShard(*shardStr); err != nil {
 			fatal(err)
 		}
+	}
+	// The partition in effect: the identity-hash shard by default, the
+	// cost-balanced LPT assignment with -shard-weighted.
+	var part sweep.Partitioner = shard
+	shardLabel := shard.String()
+	if *shardWeighted {
+		if *shardStr == "" {
+			fatal(fmt.Errorf("-shard-weighted requires -shard i/n"))
+		}
+		ws, err := sweep.ShardWeighted(shard.Index, shard.Count, scenarios, costFn)
+		if err != nil {
+			fatal(err)
+		}
+		part = ws
+		shardLabel = ws.String()
 	}
 
 	aggMode, err := sweep.ParseAggMode(*aggStr)
@@ -172,11 +224,12 @@ func main() {
 		if err := sweep.MergeCheckpointsInto(acc, label, scenarios, split(*mergeList)...); err != nil {
 			fatal(err)
 		}
-		render(*format, *metricsList, title(scenarios, *replicas, *seed, sweep.Shard{}), acc)
+		render(*format, *metricsList, title(scenarios, *replicas, *seed, "", 1, 0), acc)
+		stopProfiles()
 		return
 	}
 
-	runner := &sweep.Runner{Workers: *workers, Shard: shard}
+	runner := &sweep.Runner{Workers: *workers, Shard: shard, Partition: part}
 	if !*quiet {
 		runner.Progress = func(done, total int, r sweep.Result) {
 			status := "ok"
@@ -209,7 +262,7 @@ func main() {
 		_, failed, err = runner.ResumeCheckpointAccumulate(context.Background(), *checkpointPath, label, scenarios, acc,
 			func(restored int) {
 				fmt.Fprintf(os.Stderr, "sweep: restored %d/%d scenarios from %s\n",
-					restored, len(shard.Select(scenarios)), *checkpointPath)
+					restored, len(part.Select(scenarios)), *checkpointPath)
 			})
 	} else {
 		failed, err = runner.Accumulate(context.Background(), scenarios, acc)
@@ -226,17 +279,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", r.Err)
 	}
 
-	render(*format, *metricsList, title(scenarios, *replicas, *seed, shard), acc)
+	render(*format, *metricsList, title(scenarios, *replicas, *seed, shardLabel, shard.Count, len(part.Select(scenarios))), acc)
+	stopProfiles()
 	if len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios failed\n", len(failed), len(shard.Select(scenarios)))
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios failed\n", len(failed), len(part.Select(scenarios)))
 		os.Exit(1)
 	}
 }
 
+// memProfilePath, when set, receives a heap profile via stopProfiles on
+// every exit path.
+var memProfilePath string
+
+// stopProfiles flushes the profiling outputs; it must run before any
+// process exit (os.Exit skips defers).
+func stopProfiles() {
+	pprof.StopCPUProfile()
+	if memProfilePath == "" {
+		return
+	}
+	f, err := os.Create(memProfilePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep: memprofile:", err)
+		return
+	}
+	runtime.GC() // materialise up-to-date heap statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep: memprofile:", err)
+	}
+	f.Close()
+	memProfilePath = ""
+}
+
 // title renders the table heading. A sharded run labels itself and its
 // slice size; merged and unsharded runs must produce identical bytes, so
-// they share the zero-shard form.
-func title(scenarios []sweep.Scenario, replicas int, seed int64, shard sweep.Shard) string {
+// they share the zero-shard form (shardCount ≤ 1).
+func title(scenarios []sweep.Scenario, replicas int, seed int64, shardLabel string, shardCount, selected int) string {
 	rep := replicas
 	if rep < 1 {
 		rep = 1 // mirrors Grid.Expand's floor
@@ -245,11 +323,11 @@ func title(scenarios []sweep.Scenario, replicas int, seed int64, shard sweep.Sha
 	// mode collapses redundant baseline cells after expansion.
 	base := fmt.Sprintf("Scenario sweep — %d scenarios, %d points, seed %d",
 		len(scenarios), len(scenarios)/rep, seed)
-	if shard.Count <= 1 {
+	if shardCount <= 1 {
 		return base
 	}
 	return fmt.Sprintf("%s — shard %s (%d scenarios here)",
-		base, shard, len(shard.Select(scenarios)))
+		base, shardLabel, selected)
 }
 
 // render writes the accumulator's aggregates in the requested format.
@@ -451,6 +529,7 @@ func split(s string) []string {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
 }

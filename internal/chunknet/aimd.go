@@ -1,9 +1,5 @@
 package chunknet
 
-import (
-	"repro/internal/des"
-)
-
 // This file implements the TCP-Reno-flavoured AIMD baseline: a sender-
 // driven sliding window with slow start, additive increase, fast
 // retransmit on triple duplicate acks and a coarse retransmission
@@ -11,15 +7,6 @@ import (
 // buffers in this mode. It is the "closed feedback loop … resource
 // probing" design the paper argues against (§2.1), used as the
 // comparison point in the custody/back-pressure experiment.
-
-// rtoTimer wraps a cancellable DES timer.
-type rtoTimer struct{ t *des.Timer }
-
-func (r *rtoTimer) cancel() {
-	if r != nil && r.t != nil {
-		r.t.Cancel()
-	}
-}
 
 // aimdStart opens the flow: slow-start from a small window.
 func (s *Sim) aimdStart(f *flowState) {
@@ -43,24 +30,27 @@ func (s *Sim) sendChunkE2E(f *flowState, seq int64) {
 	p.detourBudget = 0
 	if len(f.dataPath) < 2 {
 		s.deliver(p)
+		s.freePacket(p)
 		return
 	}
-	s.arcFor(f.tr.Src, f.dataPath[1]).send(p)
+	if !s.arcFor(f.tr.Src, f.dataPath[1]).send(p) {
+		s.freePacket(p)
+	}
 }
 
 // aimdAckData runs at the receiver when a chunk arrives: send a
 // cumulative ack back to the sender.
 func (s *Sim) aimdAckData(f *flowState) {
-	p := &packet{
-		kind:    pktAck,
-		flow:    f.tr.ID,
-		cum:     f.win.Next() - 1,
-		size:    s.cfg.RequestSize,
-		rest:    f.reqPath[1:].Clone(),
-		prevHop: f.tr.Dst,
-	}
+	p := s.newPacket()
+	p.kind = pktAck
+	p.flow = f.tr.ID
+	p.cum = f.win.Next() - 1
+	p.size = s.cfg.RequestSize
+	p.rest = append(p.rest, f.reqPath[1:]...)
+	p.prevHop = f.tr.Dst
 	if len(f.reqPath) < 2 {
 		s.onAck(p)
+		s.freePacket(p)
 		return
 	}
 	s.arcFor(f.tr.Dst, f.reqPath[1]).send(p)
@@ -110,8 +100,8 @@ func (s *Sim) aimdRetransmit(f *flowState) {
 
 // aimdResetRTO (re)arms the retransmission timeout.
 func (s *Sim) aimdResetRTO(f *flowState) {
-	f.rto.cancel()
-	f.rto = &rtoTimer{t: s.des.After(s.cfg.RTO, func() { s.aimdTimeout(f) })}
+	f.rto.Cancel()
+	f.rto = s.des.After(s.cfg.RTO, f.timeoutFn)
 }
 
 // aimdTimeout is the coarse timeout: collapse to one segment and go back

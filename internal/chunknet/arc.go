@@ -61,11 +61,27 @@ type arcState struct {
 	capRate  units.BitRate // possibly reduced by back-pressure
 	delay    time.Duration
 
-	busy  bool
-	ctrl  []*packet // control packets bypass the data store
-	store *cache.Custody
-	pkts  map[uint64]*packet
-	seqNo uint64
+	busy     bool
+	ctrl     []*packet // control packets bypass the data store
+	ctrlHead int
+	store    *cache.Custody
+	// pktq mirrors the store's strict FIFO queue packet-for-packet (an
+	// entry is appended exactly when Offer accepts, popped exactly when
+	// Pop drains), replacing the former per-arc map and its per-chunk
+	// insert/delete churn.
+	pktq    []*packet
+	pktHead int
+	seqNo   uint64
+
+	// The serializer holds at most one packet (txPkt); serialised packets
+	// enter the propagation pipe and arrive in FIFO order after the arc's
+	// fixed delay. Both callbacks are bound once at construction, so
+	// transmitting allocates nothing.
+	txPkt    *packet
+	pipe     []*packet
+	pipeHead int
+	txDoneFn func()
+	arriveFn func()
 
 	iface    *core.Interface
 	sentBits float64       // since last estimator tick
@@ -77,9 +93,28 @@ type arcState struct {
 	limited    bool                 // capRate reduced by an upstream notification
 }
 
+// newPacket takes a packet from the pool (all fields zero, rest empty
+// with its backing array kept).
+func (s *Sim) newPacket() *packet {
+	if n := len(s.pktFree); n > 0 {
+		p := s.pktFree[n-1]
+		s.pktFree = s.pktFree[:n-1]
+		return p
+	}
+	return &packet{}
+}
+
+// freePacket recycles a packet whose journey ended (delivered, consumed
+// by a handler, or dropped). The caller must hold the only live
+// reference.
+func (s *Sim) freePacket(p *packet) {
+	*p = packet{rest: p.rest[:0]}
+	s.pktFree = append(s.pktFree, p)
+}
+
 // send places a packet onto the arc: control packets take the priority
 // lane, data goes through the store (buffer+custody). Returns false when
-// the packet was dropped (store full).
+// the packet was dropped (store full); the caller owns a dropped packet.
 func (a *arcState) send(p *packet) bool {
 	now := a.sim.des.Now()
 	if p.kind != pktData {
@@ -93,7 +128,7 @@ func (a *arcState) send(p *packet) bool {
 		a.sim.rep.ChunksDropped++
 		return false
 	}
-	a.pkts[key] = p
+	a.pktq = append(a.pktq, p)
 	a.sim.checkBackpressure(a, p)
 	a.kick()
 	return true
@@ -114,14 +149,25 @@ func (a *arcState) kick() {
 // next pops the next packet to serialise: control first, then the store
 // in FIFO order, then freshly scheduled sender chunks.
 func (a *arcState) next() *packet {
-	if len(a.ctrl) > 0 {
-		p := a.ctrl[0]
-		a.ctrl = a.ctrl[1:]
+	if a.ctrlHead < len(a.ctrl) {
+		p := a.ctrl[a.ctrlHead]
+		a.ctrl[a.ctrlHead] = nil
+		a.ctrlHead++
+		if a.ctrlHead == len(a.ctrl) {
+			a.ctrl = a.ctrl[:0]
+			a.ctrlHead = 0
+		}
 		return p
 	}
-	if item, ok := a.store.Pop(a.sim.des.Now()); ok {
-		p := a.pkts[item.Key]
-		delete(a.pkts, item.Key)
+	if _, ok := a.store.Pop(a.sim.des.Now()); ok {
+		p := a.pktq[a.pktHead]
+		a.pktq[a.pktHead] = nil
+		a.pktHead++
+		// Compact once the dead prefix dominates (mirrors the store).
+		if a.pktHead > 64 && a.pktHead*2 > len(a.pktq) {
+			a.pktq = append(a.pktq[:0], a.pktq[a.pktHead:]...)
+			a.pktHead = 0
+		}
 		a.maybeReleaseBackpressure()
 		return p
 	}
@@ -139,12 +185,33 @@ func (a *arcState) transmit(p *packet) {
 	}
 	tx := rate.TransmissionTime(p.size)
 	a.sentBits += float64(p.size) * 8
-	a.sim.des.After(tx, func() {
-		a.busy = false
-		arrive := p
-		a.sim.des.After(a.delay, func() { a.sim.arrive(arrive, a) })
-		a.kick()
-	})
+	a.txPkt = p
+	a.sim.des.After(tx, a.txDoneFn)
+}
+
+// txDone runs when serialisation finishes: the packet enters the
+// propagation pipe (arrivals fire in FIFO order — the delay is constant
+// per arc, so schedule order is arrival order) and the serializer picks
+// up its next packet.
+func (a *arcState) txDone() {
+	p := a.txPkt
+	a.txPkt = nil
+	a.busy = false
+	a.pipe = append(a.pipe, p)
+	a.sim.des.After(a.delay, a.arriveFn)
+	a.kick()
+}
+
+// deliverHead hands the oldest in-flight packet to the far end.
+func (a *arcState) deliverHead() {
+	p := a.pipe[a.pipeHead]
+	a.pipe[a.pipeHead] = nil
+	a.pipeHead++
+	if a.pipeHead == len(a.pipe) {
+		a.pipe = a.pipe[:0]
+		a.pipeHead = 0
+	}
+	a.sim.arrive(p, a)
 }
 
 // measuredResidual estimates the spare capacity of the arc from the last
@@ -175,11 +242,11 @@ func (a *arcState) maybeReleaseBackpressure() {
 	}
 	a.bpActive = false
 	for n := range a.bpNotified {
-		a.sim.sendControl(a.from, n, &packet{
-			kind:  pktBpOff,
-			size:  a.sim.cfg.RequestSize,
-			bpArc: a.arc,
-		})
+		p := a.sim.newPacket()
+		p.kind = pktBpOff
+		p.size = a.sim.cfg.RequestSize
+		p.bpArc = a.arc
+		a.sim.sendControl(a.from, n, p)
 	}
 	a.bpNotified = nil
 }

@@ -97,7 +97,7 @@ func (s *Sim) arcOnData(f *flowState, seq int64) {
 		f.dup = 0
 	}
 	if f.win.Done() {
-		f.rto.cancel()
+		f.rto.Cancel()
 		return
 	}
 	s.arcResetRTO(f)
@@ -154,8 +154,8 @@ func (s *Sim) arcRTO(f *flowState) time.Duration {
 
 // arcResetRTO (re)arms the receiver's stall timer.
 func (s *Sim) arcResetRTO(f *flowState) {
-	f.rto.cancel()
-	f.rto = &rtoTimer{t: s.des.After(s.arcRTO(f), func() { s.arcTimeout(f) })}
+	f.rto.Cancel()
+	f.rto = s.des.After(s.arcRTO(f), f.timeoutFn)
 }
 
 // arcTimeout is the stall recovery: collapse the window to one request

@@ -170,14 +170,30 @@ type Sim struct {
 	flowIDs []int
 	spTrees map[topo.NodeID]*route.Tree
 
+	// pktFree is the packet pool: every packet whose journey ended is
+	// recycled here, so per-chunk forwarding allocates nothing in steady
+	// state (see newPacket/freePacket in arc.go).
+	pktFree []*packet
+	// residualFn is the measured-residual adapter handed to the planner,
+	// bound once instead of per estimator tick.
+	residualFn core.ResidualFunc
+	// pathScratch is the reusable staging buffer for in-place detour
+	// route splicing (forwardData).
+	pathScratch route.Path
+
 	rep Report
 }
 
 // nodeState is one router/host in the simulation.
 type nodeState struct {
-	id      topo.NodeID
-	arcIdx  []int32                      // outgoing arc index per local interface
-	ifaceOf map[topo.NodeID]core.IfaceID // neighbor → local interface id
+	id     topo.NodeID
+	arcIdx []int32 // outgoing arc index per local interface
+	// arcTo and ifaceTo are dense neighbor tables indexed by NodeID: the
+	// outgoing arc index / local interface toward that neighbor, or -1.
+	// They replace per-hop LinkBetween map lookups on the forwarding hot
+	// path with one slice index.
+	arcTo   []int32
+	ifaceTo []core.IfaceID
 	est     *core.Estimator
 	schedRR int   // round-robin cursor over local sender flows
 	senders []int // transfer IDs originating here
@@ -202,23 +218,36 @@ func New(cfg Config) (*Sim, error) {
 	s.rep.DeliveredPerFlow = make(map[int]int64)
 
 	links := s.g.NumLinks()
+	numNodes := s.g.NumNodes()
 	s.arcs = make([]*arcState, 2*links)
-	s.nodes = make([]*nodeState, s.g.NumNodes())
+	s.nodes = make([]*nodeState, numNodes)
+	s.residualFn = func(b topo.Arc) units.BitRate {
+		return s.arcs[2*int(b.Link)+int(b.Dir)].measuredResidual()
+	}
 	for _, n := range s.g.Nodes() {
-		ns := &nodeState{id: n.ID, ifaceOf: make(map[topo.NodeID]core.IfaceID)}
+		ns := &nodeState{
+			id:      n.ID,
+			arcTo:   make([]int32, numNodes),
+			ifaceTo: make([]core.IfaceID, numNodes),
+		}
+		for i := range ns.arcTo {
+			ns.arcTo[i] = -1
+			ns.ifaceTo[i] = -1
+		}
 		for _, lid := range s.g.IncidentLinks(n.ID) {
 			l := s.g.Link(lid)
 			dir := l.DirectionFrom(n.ID)
 			idx := int32(2*int(lid) + int(dir))
 			iface := core.IfaceID(len(ns.arcIdx))
-			ns.ifaceOf[l.Other(n.ID)] = iface
+			ns.ifaceTo[l.Other(n.ID)] = iface
+			ns.arcTo[l.Other(n.ID)] = idx
 			ns.arcIdx = append(ns.arcIdx, idx)
 
 			storeCap := cfg.QueueBytes
 			if cfg.Transport == INRPP {
 				storeCap += cfg.CustodyBytes
 			}
-			s.arcs[idx] = &arcState{
+			a := &arcState{
 				sim:      s,
 				arc:      topo.Arc{Link: lid, Dir: dir},
 				from:     n.ID,
@@ -227,8 +256,10 @@ func New(cfg Config) (*Sim, error) {
 				capRate:  l.Capacity,
 				delay:    l.Delay,
 				store:    cache.NewCustody(storeCap),
-				pkts:     make(map[uint64]*packet),
 			}
+			a.txDoneFn = a.txDone
+			a.arriveFn = a.deliverHead
+			s.arcs[idx] = a
 		}
 		if len(ns.arcIdx) > 0 {
 			ns.est = core.NewEstimator(len(ns.arcIdx), cfg.ChunkSize, cfg.Ti)
@@ -271,8 +302,14 @@ func (s *Sim) AddTransfer(tr Transfer) error {
 		lastCum:    -1,
 		lastNack:   -1, // chunk 0 must be NACKable/re-requestable
 	}
-	if s.cfg.Transport == ARC {
+	switch s.cfg.Transport {
+	case INRPP:
+		f.loopFn = func() { s.requestLoop(f) }
+	case AIMD:
+		f.timeoutFn = func() { s.aimdTimeout(f) }
+	case ARC:
 		f.reqSent = make(map[int64]time.Duration)
+		f.timeoutFn = func() { s.arcTimeout(f) }
 	}
 	s.flows[tr.ID] = f
 	s.flowIDs = append(s.flowIDs, tr.ID)
@@ -330,13 +367,14 @@ func (s *Sim) finalize(until time.Duration) {
 	}
 }
 
-// arcFor returns the outgoing arc state from node u toward neighbor v.
+// arcFor returns the outgoing arc state from node u toward neighbor v —
+// one slice index into the node's dense neighbor table.
 func (s *Sim) arcFor(u, v topo.NodeID) *arcState {
-	l, ok := s.g.LinkBetween(u, v)
-	if !ok {
+	idx := s.nodes[u].arcTo[v]
+	if idx < 0 {
 		panic(fmt.Sprintf("chunknet: no link %d-%d", u, v))
 	}
-	return s.arcs[2*int(l.ID)+int(l.DirectionFrom(u))]
+	return s.arcs[idx]
 }
 
 func reversePath(p route.Path) route.Path {

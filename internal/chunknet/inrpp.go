@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/des"
 	"repro/internal/route"
 	"repro/internal/topo"
 	"repro/internal/units"
@@ -41,10 +42,15 @@ type flowState struct {
 	aimdNext int64
 	lastCum  int64
 	dup      int
-	rto      *rtoTimer
+	rto      des.Timer
 
 	// ARC receiver: requests issued but not yet answered by data.
 	arcOut int64
+
+	// Pre-bound callbacks, so re-arming the request loop or an RTO timer
+	// does not allocate a fresh closure per event.
+	loopFn    func()
+	timeoutFn func()
 	// ARC adaptive RTO state (RFC 6298 over request→data samples): the
 	// send time of each outstanding first-transmission request (resends
 	// are never sampled — Karn's algorithm), the smoothed RTT estimate
@@ -55,7 +61,9 @@ type flowState struct {
 	rtoScale uint
 }
 
-// arrive dispatches a packet that reached the far end of arc a.
+// arrive dispatches a packet that reached the far end of arc a. Packets
+// that terminate here (delivered data, consumed requests/acks, control
+// notifications) return to the pool once their handler is done.
 func (s *Sim) arrive(p *packet, a *arcState) {
 	node := a.to
 	if len(p.rest) > 0 && p.rest[0] == node {
@@ -65,25 +73,30 @@ func (s *Sim) arrive(p *packet, a *arcState) {
 	case pktData:
 		if len(p.rest) == 0 {
 			s.deliver(p)
+			s.freePacket(p)
 			return
 		}
 		s.forwardData(p, node)
 	case pktRequest:
 		if len(p.rest) == 0 {
 			s.onRequest(p)
+			s.freePacket(p)
 			return
 		}
 		s.forwardRequest(p, node)
 	case pktAck:
 		if len(p.rest) == 0 {
 			s.onAck(p)
+			s.freePacket(p)
 			return
 		}
 		s.forwardControl(p, node)
 	case pktBpOn:
 		s.onBackpressureOn(p, node)
+		s.freePacket(p)
 	case pktBpOff:
 		s.onBackpressureOff(p, node)
+		s.freePacket(p)
 	}
 }
 
@@ -99,15 +112,23 @@ func (s *Sim) forwardData(p *packet, node topo.NodeID) {
 				p.detoured = true
 				s.rep.ChunksDetoured++
 			}
-			// Tunnel through via, rejoining the route at next.
-			p.rest = append(route.Path{via, next}, p.rest[1:]...)
+			// Tunnel through via, rejoining the route at next. Rebuilt in
+			// place through the sim's scratch path, so detouring — the
+			// congested regime — stays allocation-free like plain
+			// forwarding.
+			s.pathScratch = append(s.pathScratch[:0], p.rest[1:]...)
+			p.rest = append(p.rest[:0], via, next)
+			p.rest = append(p.rest, s.pathScratch...)
 			a = s.arcFor(node, via)
 		}
 	}
 	// send() reads prevHop as the upstream to back-pressure, so update it
 	// only afterwards (same call stack: the stored packet carries the new
-	// value downstream).
-	a.send(p)
+	// value downstream). A dropped packet belongs to us again: recycle.
+	if !a.send(p) {
+		s.freePacket(p)
+		return
+	}
 	p.prevHop = node
 }
 
@@ -146,9 +167,8 @@ func (s *Sim) forwardRequest(p *packet, node topo.NodeID) {
 	ns := s.nodes[node]
 	next := p.rest[0]
 	if ns.est != nil {
-		via := ns.ifaceOf[next]
-		dataIface, ok := ns.ifaceOf[p.prevHop]
-		if ok {
+		via := ns.ifaceTo[next]
+		if dataIface := ns.ifaceTo[p.prevHop]; dataIface >= 0 {
 			ns.est.RecordRequest(via, dataIface, 1)
 		}
 	}
@@ -218,22 +238,22 @@ func (s *Sim) requestLoop(f *flowState) {
 	if interval > 100*time.Millisecond {
 		interval = 100 * time.Millisecond
 	}
-	s.des.After(interval, func() { s.requestLoop(f) })
+	s.des.After(interval, f.loopFn)
 }
 
 func (s *Sim) sendRequest(f *flowState, seq int64, resend bool) {
-	p := &packet{
-		kind:    pktRequest,
-		flow:    f.tr.ID,
-		seq:     seq,
-		size:    s.cfg.RequestSize,
-		rest:    f.reqPath[1:].Clone(),
-		prevHop: f.tr.Dst,
-		resend:  resend,
-	}
+	p := s.newPacket()
+	p.kind = pktRequest
+	p.flow = f.tr.ID
+	p.seq = seq
+	p.size = s.cfg.RequestSize
+	p.rest = append(p.rest, f.reqPath[1:]...)
+	p.prevHop = f.tr.Dst
+	p.resend = resend
 	if len(f.reqPath) == 1 {
 		// Degenerate: source and receiver on the same node.
 		s.onRequest(p)
+		s.freePacket(p)
 		return
 	}
 	s.arcFor(f.tr.Dst, f.reqPath[1]).send(p)
@@ -274,7 +294,9 @@ func (s *Sim) kickSender(f *flowState) {
 			if !ok {
 				return
 			}
-			s.deliver(s.makeDataPacket(f, seq))
+			p := s.makeDataPacket(f, seq)
+			s.deliver(p)
+			s.freePacket(p)
 		}
 	}
 	s.arcFor(f.tr.Src, f.dataPath[1]).kick()
@@ -331,15 +353,15 @@ func (s *Sim) senderNextSeq(f *flowState) (int64, bool) {
 
 func (s *Sim) makeDataPacket(f *flowState, seq int64) *packet {
 	s.rep.ChunksSent++
-	return &packet{
-		kind:         pktData,
-		flow:         f.tr.ID,
-		seq:          seq,
-		size:         s.cfg.ChunkSize,
-		rest:         f.dataPath[1:].Clone(),
-		prevHop:      f.tr.Src,
-		detourBudget: 1,
-	}
+	p := s.newPacket()
+	p.kind = pktData
+	p.flow = f.tr.ID
+	p.seq = seq
+	p.size = s.cfg.ChunkSize
+	p.rest = append(p.rest, f.dataPath[1:]...)
+	p.prevHop = f.tr.Src
+	p.detourBudget = 1
+	return p
 }
 
 // checkBackpressure fires the back-pressure phase when a store crosses
@@ -367,19 +389,19 @@ func (s *Sim) checkBackpressure(a *arcState, p *packet) {
 	// remaining custody headroom to keep absorbing, but the allowance is
 	// only safe if re-signalled every horizon; a one-shot notification
 	// must not over-promise.)
-	s.sendControl(a.from, up, &packet{
-		kind:   pktBpOn,
-		size:   s.cfg.RequestSize,
-		bpArc:  a.arc,
-		bpRate: a.baseRate,
-	})
+	p2 := s.newPacket()
+	p2.kind = pktBpOn
+	p2.size = s.cfg.RequestSize
+	p2.bpArc = a.arc
+	p2.bpRate = a.baseRate
+	s.sendControl(a.from, up, p2)
 }
 
 // sendControl sends a one-hop control packet from node from to its
 // neighbour to.
 func (s *Sim) sendControl(from, to topo.NodeID, p *packet) {
 	p.prevHop = from
-	p.rest = route.Path{to}
+	p.rest = append(p.rest[:0], to)
 	s.arcFor(from, to).send(p)
 }
 
@@ -450,9 +472,7 @@ func (s *Sim) tickEstimators() {
 			a.sentBits = 0
 			instantAnt := ns.est.AnticipatedRate(core.IfaceID(iface))
 			a.antRate += units.BitRate(rateEWMA) * (instantAnt - a.antRate)
-			hasDetour := s.planner.HasDetour(a.arc, func(b topo.Arc) units.BitRate {
-				return s.arcs[2*int(b.Link)+int(b.Dir)].measuredResidual()
-			})
+			hasDetour := s.planner.HasDetour(a.arc, s.residualFn)
 			a.iface.Update(a.antRate, hasDetour)
 		}
 	}

@@ -33,15 +33,39 @@ type Grant struct {
 }
 
 // Planner finds and sizes detours around congested links, caching the
-// candidate enumeration per link. It is the engine of the detour phase,
-// shared by both simulators.
+// candidate enumeration — in both orientations, with the sub-paths
+// pre-resolved to directed arcs — per link. It is the engine of the
+// detour phase, shared by both simulators. Plan reuses internal scratch,
+// so a planner must not be shared across goroutines (each simulation run
+// owns its own, as before).
 type Planner struct {
 	g             *topo.Graph
 	mode          PlannerMode
 	extraHop      bool
 	maxCandidates int
 
-	cache map[topo.LinkID][]route.Subpath
+	cache map[cacheKey]*candSet
+
+	// Plan scratch, reused across calls: the returned grants and the
+	// donor-arc consumption ledger. Candidate sets are ≤ MaxCandidates
+	// with ≤ 2 arcs each, so the ledger is a linear-scanned pair list.
+	grants       []Grant
+	consumedArcs []topo.Arc
+	consumedVals []units.BitRate
+}
+
+// cacheKey identifies one orientation of one link's candidate set.
+type cacheKey struct {
+	id  topo.LinkID
+	dir topo.Direction
+}
+
+// candSet is a cached candidate enumeration: the oriented sub-paths and
+// their directed-arc resolutions, index-aligned. Both slices are stable
+// for the planner's lifetime, so callers may retain references.
+type candSet struct {
+	subs []route.Subpath
+	arcs [][]topo.Arc
 }
 
 // PlannerConfig tunes detour planning.
@@ -69,42 +93,64 @@ func NewPlanner(g *topo.Graph, cfg PlannerConfig) *Planner {
 		mode:          cfg.Mode,
 		extraHop:      cfg.ExtraHop,
 		maxCandidates: cfg.MaxCandidates,
-		cache:         make(map[topo.LinkID][]route.Subpath),
+		cache:         make(map[cacheKey]*candSet),
 	}
 }
 
 // Candidates returns the detour sub-paths around link id, oriented from
-// the congested arc's tail to its head.
+// the congested arc's tail to its head. The slice is cached; callers
+// must not mutate it.
 func (p *Planner) Candidates(id topo.LinkID, dir topo.Direction) []route.Subpath {
-	subs, ok := p.cache[id]
+	return p.candidates(id, dir).subs
+}
+
+// candidates returns the cached oriented candidate set for one direction
+// of a link, building (and arc-resolving) it on first use.
+func (p *Planner) candidates(id topo.LinkID, dir topo.Direction) *candSet {
+	if set, ok := p.cache[cacheKey{id, dir}]; ok {
+		return set
+	}
+	fwd, ok := p.cache[cacheKey{id, topo.Forward}]
 	if !ok {
-		subs = route.Subpaths(p.g, id, p.extraHop, p.maxCandidates)
-		p.cache[id] = subs
+		fwd = p.resolve(route.Subpaths(p.g, id, p.extraHop, p.maxCandidates))
+		p.cache[cacheKey{id, topo.Forward}] = fwd
 	}
 	if dir == topo.Forward {
-		return subs
+		return fwd
 	}
 	// Reverse orientation for the B→A direction.
-	out := make([]route.Subpath, len(subs))
-	for i, s := range subs {
-		rev := make(route.Path, len(s.Path))
+	rev := make([]route.Subpath, len(fwd.subs))
+	for i, s := range fwd.subs {
+		rp := make(route.Path, len(s.Path))
 		for j, n := range s.Path {
-			rev[len(s.Path)-1-j] = n
+			rp[len(s.Path)-1-j] = n
 		}
-		out[i] = route.Subpath{Path: rev, Extra: s.Extra}
+		rev[i] = route.Subpath{Path: rp, Extra: s.Extra}
 	}
-	return out
+	set := p.resolve(rev)
+	p.cache[cacheKey{id, topo.Reverse}] = set
+	return set
+}
+
+// resolve pairs a candidate list with its directed-arc resolutions.
+func (p *Planner) resolve(subs []route.Subpath) *candSet {
+	arcs := make([][]topo.Arc, len(subs))
+	for i, s := range subs {
+		arcs[i] = p.subpathArcs(s)
+	}
+	return &candSet{subs: subs, arcs: arcs}
 }
 
 // HasDetour reports whether at least one detour sub-path with positive
 // residual capacity exists around the arc. With a nil residual it only
 // checks topological existence.
 func (p *Planner) HasDetour(arc topo.Arc, residual ResidualFunc) bool {
-	for _, sub := range p.Candidates(arc.Link, arc.Dir) {
+	set := p.candidates(arc.Link, arc.Dir)
+	for i := range set.subs {
 		if residual == nil {
 			return true
 		}
-		if p.subpathResidual(sub, residual) > 0 {
+		if arcsResidual(set.arcs[i], residual) > 0 {
 			return true
 		}
 	}
@@ -121,37 +167,42 @@ func (p *Planner) HasDetour(arc topo.Arc, residual ResidualFunc) bool {
 // Blind mode splits the overflow equally across all candidates, capped by
 // residual only at the caller's peril — it models detouring with no
 // neighbour state and is kept for ablation.
+// The returned grants slice is planner-owned scratch, valid until the
+// next Plan call; the Arcs slices inside it are cached and stable for
+// the planner's lifetime.
 func (p *Planner) Plan(arc topo.Arc, overflow units.BitRate, residual ResidualFunc) (grants []Grant, unplaced units.BitRate) {
 	if overflow <= 0 {
 		return nil, 0
 	}
-	cands := p.Candidates(arc.Link, arc.Dir)
-	if len(cands) == 0 {
+	set := p.candidates(arc.Link, arc.Dir)
+	if len(set.subs) == 0 {
 		return nil, overflow
 	}
+	grants = p.grants[:0]
 
 	switch p.mode {
 	case Blind:
-		share := overflow / units.BitRate(len(cands))
-		for _, sub := range cands {
-			arcs := p.subpathArcs(sub)
-			grants = append(grants, Grant{Sub: sub, Arcs: arcs, Rate: share})
+		share := overflow / units.BitRate(len(set.subs))
+		for i, sub := range set.subs {
+			grants = append(grants, Grant{Sub: sub, Arcs: set.arcs[i], Rate: share})
 		}
+		p.grants = grants
 		return grants, 0
 
 	default: // CapacityAware
 		// Track how much of each donor arc this plan has consumed so far,
 		// so overlapping candidates share residuals consistently.
-		consumed := make(map[topo.Arc]units.BitRate)
+		p.consumedArcs = p.consumedArcs[:0]
+		p.consumedVals = p.consumedVals[:0]
 		remaining := overflow
-		for _, sub := range cands {
+		for i, sub := range set.subs {
 			if remaining <= 0 {
 				break
 			}
-			arcs := p.subpathArcs(sub)
+			arcs := set.arcs[i]
 			avail := remaining
 			for _, a := range arcs {
-				r := residual(a) - consumed[a]
+				r := residual(a) - p.consumed(a)
 				if r < avail {
 					avail = r
 				}
@@ -160,19 +211,42 @@ func (p *Planner) Plan(arc topo.Arc, overflow units.BitRate, residual ResidualFu
 				continue
 			}
 			for _, a := range arcs {
-				consumed[a] += avail
+				p.consume(a, avail)
 			}
 			grants = append(grants, Grant{Sub: sub, Arcs: arcs, Rate: avail})
 			remaining -= avail
 		}
+		p.grants = grants
 		return grants, remaining
 	}
 }
 
-// subpathResidual returns the bottleneck residual along a sub-path.
-func (p *Planner) subpathResidual(sub route.Subpath, residual ResidualFunc) units.BitRate {
+// consumed returns how much of a donor arc this plan has already taken.
+func (p *Planner) consumed(a topo.Arc) units.BitRate {
+	for i, b := range p.consumedArcs {
+		if b == a {
+			return p.consumedVals[i]
+		}
+	}
+	return 0
+}
+
+// consume records a donor-arc allocation in the plan's ledger.
+func (p *Planner) consume(a topo.Arc, v units.BitRate) {
+	for i, b := range p.consumedArcs {
+		if b == a {
+			p.consumedVals[i] += v
+			return
+		}
+	}
+	p.consumedArcs = append(p.consumedArcs, a)
+	p.consumedVals = append(p.consumedVals, v)
+}
+
+// arcsResidual returns the bottleneck residual along resolved arcs.
+func arcsResidual(arcs []topo.Arc, residual ResidualFunc) units.BitRate {
 	min := units.BitRate(0)
-	for i, a := range p.subpathArcs(sub) {
+	for i, a := range arcs {
 		r := residual(a)
 		if i == 0 || r < min {
 			min = r

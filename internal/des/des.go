@@ -1,18 +1,22 @@
 // Package des is a minimal discrete-event simulation kernel: a clock and a
 // deterministic event queue. Both INRPP simulators run single-threaded on
 // top of it so every run is exactly reproducible.
+//
+// Events are pooled: a fired (or lazily dropped cancelled) event returns
+// to a free list and is reused by a later At/After, so steady-state
+// scheduling performs no heap allocation. Timers stay safe across reuse
+// via a generation counter — cancelling a timer whose event has already
+// fired and been recycled is a no-op, never a clobber of the new tenant.
 package des
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // Simulator owns the virtual clock and the pending-event queue. The zero
 // value is ready to use.
 type Simulator struct {
 	now    time.Duration
 	events eventHeap
+	free   []*event
 	seq    uint64
 	stop   bool
 }
@@ -23,45 +27,79 @@ func New() *Simulator { return &Simulator{} }
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Duration { return s.now }
 
-// Timer is a handle to a scheduled event, allowing cancellation.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled event, allowing cancellation. The
+// zero value is an inert timer; Cancel on it is a no-op.
+type Timer struct {
+	ev  *event
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
+// already-cancelled timer is a no-op (the generation check makes this
+// safe even after the underlying event object has been reused).
+func (t Timer) Cancel() {
+	if t.ev != nil && t.ev.gen == t.gen {
 		t.ev.fn = nil
 	}
+}
+
+// alloc takes an event from the pool (or the heap's garbage) and stamps
+// it for a new tenancy.
+func (s *Simulator) alloc(at time.Duration, fn func()) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
+	s.seq++
+	return ev
+}
+
+// recycle returns a popped event to the pool, bumping its generation so
+// stale Timers can no longer touch it.
+func (s *Simulator) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	s.free = append(s.free, ev)
 }
 
 // At schedules fn at absolute time t. Events scheduled in the past fire at
 // the current time (immediately on the next step), preserving causality.
 // Events at equal times fire in scheduling order.
-func (s *Simulator) At(t time.Duration, fn func()) *Timer {
+func (s *Simulator) At(t time.Duration, fn func()) Timer {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	ev := s.alloc(t, fn)
+	s.events.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn d from now.
-func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+func (s *Simulator) After(d time.Duration, fn func()) Timer {
 	return s.At(s.now+d, fn)
 }
 
 // Step fires the next pending event, advancing the clock to it. It reports
 // whether an event was fired.
 func (s *Simulator) Step() bool {
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(*event)
+	for s.events.len() > 0 {
+		ev := s.events.pop()
 		if ev.fn == nil {
-			continue // cancelled
+			s.recycle(ev) // cancelled
+			continue
 		}
 		s.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		// Recycle before firing: the callback frequently schedules a
+		// follow-up event, which can then reuse this slot immediately.
+		s.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -96,7 +134,7 @@ func (s *Simulator) Stop() { s.stop = true }
 // Pending returns the number of scheduled (non-cancelled) events.
 func (s *Simulator) Pending() int {
 	n := 0
-	for _, ev := range s.events {
+	for _, ev := range s.events.heap {
 		if ev.fn != nil {
 			n++
 		}
@@ -105,37 +143,83 @@ func (s *Simulator) Pending() int {
 }
 
 func (s *Simulator) peekTime() (time.Duration, bool) {
-	for s.events.Len() > 0 {
-		if s.events[0].fn == nil {
-			heap.Pop(&s.events)
+	for s.events.len() > 0 {
+		if s.events.heap[0].fn == nil {
+			s.recycle(s.events.pop())
 			continue
 		}
-		return s.events[0].at, true
+		return s.events.heap[0].at, true
 	}
 	return 0, false
 }
 
+// event is one scheduled callback. gen counts tenancies of the pooled
+// object; a Timer is only valid for the generation it was issued at.
 type event struct {
 	at  time.Duration
 	seq uint64
+	gen uint32
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq): the
+// earliest event first, scheduling order breaking ties. Avoiding
+// container/heap keeps the push/pop paths free of interface conversions
+// and lets the heap share storage across the simulation's lifetime.
+type eventHeap struct {
+	heap []*event
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) len() int { return len(h.heap) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.heap[i], h.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(ev *event) {
+	h.heap = append(h.heap, ev)
+	i := len(h.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.heap[i], h.heap[parent] = h.heap[parent], h.heap[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	top := h.heap[0]
+	n := len(h.heap) - 1
+	h.heap[0] = h.heap[n]
+	h.heap[n] = nil
+	h.heap = h.heap[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.heap[i], h.heap[smallest] = h.heap[smallest], h.heap[i]
+		i = smallest
+	}
 }

@@ -75,8 +75,49 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	var nilTimer *Timer
-	nilTimer.Cancel() // must not panic
+	var zeroTimer Timer
+	zeroTimer.Cancel() // must not panic
+}
+
+// TestStaleTimerCancel pins the pooled-event safety property: cancelling
+// a timer whose event already fired — and whose event object has since
+// been reused by a newer scheduling — must not cancel the new tenant.
+func TestStaleTimerCancel(t *testing.T) {
+	s := New()
+	firstFired, secondFired := false, false
+	stale := s.After(time.Second, func() { firstFired = true })
+	s.Run()
+	if !firstFired {
+		t.Fatal("first event did not fire")
+	}
+	// This scheduling reuses the pooled event object the stale timer
+	// still points at.
+	s.After(time.Second, func() { secondFired = true })
+	stale.Cancel() // must be a no-op: its generation has passed
+	s.Run()
+	if !secondFired {
+		t.Error("stale Cancel clobbered a reused event")
+	}
+}
+
+// TestScheduleAllocFree verifies the steady-state scheduling path reuses
+// pooled events instead of allocating.
+func TestScheduleAllocFree(t *testing.T) {
+	s := New()
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			s.After(time.Duration(i%7)*time.Millisecond, func() {})
+		}
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state scheduling allocates %.1f objects per run, want 0", allocs)
+	}
 }
 
 func TestRunUntil(t *testing.T) {

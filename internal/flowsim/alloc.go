@@ -13,27 +13,61 @@ const optimisticOverflow = 1e15 // 1 Pbps
 // allocate computes the current per-flow rates (bits/s) and the expected
 // hop count of each flow's traffic (primary hops plus the rate-weighted
 // detour extension), according to the configured policy.
+//
+// Rates are computed per flow class (see classes.go) and expanded into
+// per-flow slices only at the end; both returned slices are runner-owned
+// scratch, valid until the next allocate call. The whole path is
+// allocation-free in steady state.
 func (r *runner) allocate() (rates []float64, hopsExp []float64) {
-	paths := make([][]int32, len(r.active))
-	hopsExp = make([]float64, len(r.active))
-	for i, f := range r.active {
-		paths[i] = f.arcs
-		hopsExp[i] = f.hops
-	}
-	var caps []float64
-	if r.cfg.DemandCap > 0 {
-		caps = make([]float64, len(r.active))
-		for i := range caps {
-			caps[i] = float64(r.cfg.DemandCap)
-		}
-	}
+	n := len(r.active)
+	rates = growFloats(&r.ratesBuf, n)
+	hopsExp = growFloats(&r.hopsBuf, n)
 
 	if r.cfg.Policy != INRP {
 		r.detourRate = 0
-		return progressiveFill(paths, r.capBase, caps), hopsExp
+		classRate := r.classFill(r.capBase)
+		for i, f := range r.active {
+			rates[i] = classRate[f.class]
+			hopsExp[i] = f.hops
+		}
+		return rates, hopsExp
 	}
-	return r.allocateINRP(paths, hopsExp, caps)
+	return r.allocateINRP(rates, hopsExp)
 }
+
+// grantRec records one detour grant of the current plan: the congested
+// source arc it relieves, its rate, the extra hops of its sub-path, and
+// the donor arcs it lands on. The arcs slice references the planner's
+// per-link candidate cache (stable for the planner's lifetime), so
+// recording a grant allocates nothing. The feasibility pass uses these
+// records to shrink over-grants when an arc is overloaded by landed
+// detour traffic alone.
+type grantRec struct {
+	src   int // arc index the grant relieves
+	rate  float64
+	extra float64
+	arcs  []topo.Arc // donor arcs the grant lands on
+}
+
+// congested is one saturated/overloaded arc candidate of a pooling round.
+type congested struct {
+	arc  int
+	over float64
+}
+
+// congestedList orders candidates worst-overflow-first with the arc index
+// as a deterministic tiebreak; the order is total, so any sorting
+// algorithm yields the same permutation.
+type congestedList []congested
+
+func (l congestedList) Len() int { return len(l) }
+func (l congestedList) Less(i, j int) bool {
+	if l[i].over != l[j].over {
+		return l[i].over > l[j].over
+	}
+	return l[i].arc < l[j].arc
+}
+func (l congestedList) Swap(i, j int) { l[i], l[j] = l[j], l[i] }
 
 // allocateINRP runs the pooling fixpoint of §3: fill max-min on primary
 // paths, shift each saturated arc's overflow onto detour sub-paths with
@@ -41,15 +75,16 @@ func (r *runner) allocate() (rates []float64, hopsExp []float64) {
 // capacity back into the filling, and iterate. Overflow that no detour
 // can absorb is back-pressured: the affected flows are rate-capped in a
 // final feasibility pass.
-func (r *runner) allocateINRP(paths [][]int32, hopsExp []float64, caps []float64) ([]float64, []float64) {
+func (r *runner) allocateINRP(rates, hopsExp []float64) ([]float64, []float64) {
 	n := r.nArcs
 	zero(r.grantsFor)
 	zero(r.detourLoad)
 	zero(r.extraWeighted)
+	r.grantRecs = r.grantRecs[:0]
 
-	capEff := make([]float64, n)
-	primaryLoad := make([]float64, n)
-	var rates []float64
+	capEff := r.capEff
+	primaryLoad := r.primaryLoad
+	var classRate []float64
 
 	for round := 0; round < r.cfg.PoolingRounds; round++ {
 		final := round == r.cfg.PoolingRounds-1
@@ -62,12 +97,16 @@ func (r *runner) allocateINRP(paths [][]int32, hopsExp []float64, caps []float64
 		for a := 0; a < n; a++ {
 			capEff[a] = r.capBase[a] + r.grantsFor[a]
 		}
-		rates = progressiveFill(paths, capEff, caps)
+		classRate = r.classFill(capEff)
 
+		// Per-arc primary load. Accumulated flow-by-flow in active order —
+		// not class×weight products — so the float summation order matches
+		// the per-flow reference bit for bit.
 		zero(primaryLoad)
-		for i, p := range paths {
-			for _, a := range p {
-				primaryLoad[a] += rates[i]
+		for _, f := range r.active {
+			cr := classRate[f.class]
+			for _, a := range f.arcs {
+				primaryLoad[a] += cr
 			}
 		}
 
@@ -76,11 +115,7 @@ func (r *runner) allocateINRP(paths [][]int32, hopsExp []float64, caps []float64
 		// saturated arcs get optimistic grants (in non-final rounds) so
 		// their frozen flows can grow into pooled capacity next round. The
 		// final round plans only real overflow, keeping the metrics honest.
-		type congested struct {
-			arc  int
-			over float64
-		}
-		var cands []congested
+		cands := r.cands[:0]
 		for a := 0; a < n; a++ {
 			over := primaryLoad[a] - r.capBase[a]
 			saturated := r.capBase[a]-primaryLoad[a] <= saturationEps(r.capBase[a])
@@ -88,17 +123,14 @@ func (r *runner) allocateINRP(paths [][]int32, hopsExp []float64, caps []float64
 				cands = append(cands, congested{arc: a, over: over})
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].over != cands[j].over {
-				return cands[i].over > cands[j].over
-			}
-			return cands[i].arc < cands[j].arc
-		})
+		r.cands = cands
+		sort.Sort(&r.cands)
 
 		zero(r.grantsFor)
 		zero(r.detourLoad)
 		zero(r.extraWeighted)
-		for _, c := range cands {
+		r.grantRecs = r.grantRecs[:0]
+		for _, c := range r.cands {
 			req := primaryLoad[c.arc] + r.detourLoad[c.arc] - r.capBase[c.arc]
 			if !final {
 				// Optimistic: take whatever the detours can spare; the
@@ -109,22 +141,17 @@ func (r *runner) allocateINRP(paths [][]int32, hopsExp []float64, caps []float64
 				continue
 			}
 			a := c.arc
-			residual := func(b topo.Arc) float64 {
-				bi := r.arcOf(b)
-				res := r.capBase[bi] - primaryLoad[bi] - r.detourLoad[bi]
-				if res < 0 {
-					return 0
-				}
-				return res
-			}
-			grants, _ := r.planner.Plan(r.arcBack[a], bitRate(req), residualAdapter(residual))
+			grants, _ := r.planner.Plan(r.arcBack[a], bitRate(req), r.residualFn)
 			for _, gr := range grants {
 				rate := float64(gr.Rate)
 				r.grantsFor[a] += rate
 				r.extraWeighted[a] += rate * float64(gr.Sub.Extra)
 				for _, b := range gr.Arcs {
-					r.detourLoad[r.arcOf(b)] += rate
+					r.detourLoad[arcIndex(b)] += rate
 				}
+				r.grantRecs = append(r.grantRecs, grantRec{
+					src: a, rate: rate, extra: float64(gr.Sub.Extra), arcs: gr.Arcs,
+				})
 			}
 		}
 	}
@@ -133,16 +160,20 @@ func (r *runner) allocateINRP(paths [][]int32, hopsExp []float64, caps []float64
 	// plus landed detour traffic still exceeds capacity caps the flows
 	// crossing it. Grants are consistent with the final loads by
 	// construction, so violations only stem from unplaced overflow.
-	r.enforceFeasibility(paths, rates, primaryLoad)
+	r.enforceFeasibility(classRate, primaryLoad)
 
 	// Stretch expectation and aggregate detour rate from the final plan.
 	r.detourRate = 0
 	for a := 0; a < r.nArcs; a++ {
 		r.detourRate += r.grantsFor[a]
 	}
-	for i, p := range paths {
+	for c := range r.classes {
+		cl := &r.classes[c]
+		if cl.weight == 0 {
+			continue
+		}
 		extra := 0.0
-		for _, a := range p {
+		for _, a := range cl.arcs {
 			if r.grantsFor[a] <= 0 || primaryLoad[a] <= 0 {
 				continue
 			}
@@ -152,14 +183,21 @@ func (r *runner) allocateINRP(paths [][]int32, hopsExp []float64, caps []float64
 			}
 			extra += phi * (r.extraWeighted[a] / r.grantsFor[a])
 		}
-		hopsExp[i] += extra
+		r.classExtra[c] = extra
+	}
+	for i, f := range r.active {
+		rates[i] = classRate[f.class]
+		hopsExp[i] = f.hops + r.classExtra[f.class]
 	}
 	return rates, hopsExp
 }
 
-// enforceFeasibility rate-caps flows on arcs whose overflow could not be
-// fully detoured — the fluid expression of the back-pressure phase.
-func (r *runner) enforceFeasibility(paths [][]int32, rates, primaryLoad []float64) {
+// enforceFeasibility rate-caps classes on arcs whose overflow could not
+// be fully detoured — the fluid expression of the back-pressure phase.
+// Decisions (worst arc, cut factor, per-class cuts) iterate classes; only
+// the primary-load bookkeeping walks flows, in active order, to keep the
+// float summation sequence identical to the per-flow reference.
+func (r *runner) enforceFeasibility(classRate, primaryLoad []float64) {
 	for pass := 0; pass < r.nArcs; pass++ {
 		worst, worstExcess := -1, 0.0
 		for a := 0; a < r.nArcs; a++ {
@@ -174,32 +212,108 @@ func (r *runner) enforceFeasibility(paths [][]int32, rates, primaryLoad []float6
 		}
 		r.res.Backpressured++
 		if primaryLoad[worst] <= 0 {
-			// Excess comes entirely from landed detours; shrink grants
-			// proportionally instead (donors were over-granted).
-			return
+			// Excess comes entirely from landed detours: donors were
+			// over-granted. Shrink the grants landing on this arc
+			// proportionally and re-evaluate.
+			if !r.shrinkGrants(worst, worstExcess) {
+				return
+			}
+			continue
 		}
 		factor := 1 - worstExcess/primaryLoad[worst]
 		if factor < 0 {
 			factor = 0
 		}
-		for i, p := range paths {
-			onArc := false
-			for _, a := range p {
-				if a == int32(worst) {
-					onArc = true
-					break
-				}
-			}
-			if !onArc {
+		for c := range r.classes {
+			cl := &r.classes[c]
+			r.classCut[c] = 0
+			if cl.weight == 0 || classRate[c] == 0 {
 				continue
 			}
-			cut := rates[i] * (1 - factor)
-			rates[i] -= cut
-			for _, a := range p {
+			if !pathHasArc(cl.arcs, int32(worst)) {
+				continue
+			}
+			cut := classRate[c] * (1 - factor)
+			classRate[c] -= cut
+			r.classCut[c] = cut
+		}
+		for _, f := range r.active {
+			cut := r.classCut[f.class]
+			if cut == 0 {
+				continue
+			}
+			for _, a := range f.arcs {
 				primaryLoad[a] -= cut
 			}
 		}
 	}
+}
+
+// shrinkGrants scales down the detour grants landing on an arc that is
+// overloaded by detour traffic alone, restoring the promised proportional
+// shrink: each landing grant loses the same fraction, and its source
+// arc's pooled capacity (and stretch weight) shrinks with it — which the
+// next feasibility pass then sees as primary overload on the source, if
+// any. It reports whether any grant was shrunk.
+func (r *runner) shrinkGrants(worst int, excess float64) bool {
+	landed := r.detourLoad[worst]
+	if landed <= 0 {
+		return false
+	}
+	factor := 1 - excess/landed
+	if factor < 0 {
+		factor = 0
+	}
+	shrunk := false
+	for gi := range r.grantRecs {
+		g := &r.grantRecs[gi]
+		if g.rate <= 0 {
+			continue
+		}
+		lands := false
+		for _, b := range g.arcs {
+			if int(arcIndex(b)) == worst {
+				lands = true
+				break
+			}
+		}
+		if !lands {
+			continue
+		}
+		cut := g.rate * (1 - factor)
+		if cut <= 0 {
+			continue
+		}
+		g.rate -= cut
+		r.grantsFor[g.src] -= cut
+		r.extraWeighted[g.src] -= cut * g.extra
+		for _, b := range g.arcs {
+			r.detourLoad[arcIndex(b)] -= cut
+		}
+		shrunk = true
+	}
+	return shrunk
+}
+
+// pathHasArc reports whether the arc list contains the arc index.
+func pathHasArc(arcs []int32, a int32) bool {
+	for _, b := range arcs {
+		if b == a {
+			return true
+		}
+	}
+	return false
+}
+
+// growFloats resizes a reusable float scratch buffer to n entries,
+// reallocating only on growth. Contents are unspecified; callers
+// overwrite every entry.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n, n+n/2+16)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 func zero(xs []float64) {

@@ -50,9 +50,29 @@ func topoPath(g *topo.Graph, f workload.Flow) []int32 {
 	}
 	out := make([]int32, len(arcs))
 	for i, a := range arcs {
-		out[i] = r.arcOf(a)
+		out[i] = arcIndex(a)
 	}
 	return out
+}
+
+// BenchmarkFillClasses measures the weighted class-based fill on the
+// same workload as BenchmarkProgressiveFill: the per-flow reference
+// filler's working set collapses to one class per distinct path.
+func BenchmarkFillClasses(b *testing.B) {
+	g := topo.MustBuildISP(topo.Exodus)
+	flows := benchFlows(g, 200)
+	r := &runner{cfg: Config{Graph: g, Policy: SP}, g: g}
+	r.init()
+	for _, f := range flows {
+		if err := r.admit(f, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.classFill(r.capBase)
+	}
 }
 
 func BenchmarkRunSP(b *testing.B) {

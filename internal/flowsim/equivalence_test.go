@@ -1,0 +1,380 @@
+package flowsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// This file keeps the seed's per-flow allocator alive as the equivalence
+// oracle for the flow-class allocator: allocateRef below is the original
+// implementation (progressiveFill over individual flows, per-flow
+// feasibility), extended only by the same detour-grant shrink fix the
+// class-based path gained. The property tests drive both allocators over
+// random graphs and workloads — elastic and demand-capped, SP and INRP
+// with pooling rounds, across admit/finish churn — and require
+// bit-identical rates, expected hops and back-pressure counts.
+
+// allocateRef is the retained per-flow reference allocator.
+func (r *runner) allocateRef() (rates []float64, hopsExp []float64) {
+	paths := make([][]int32, len(r.active))
+	hopsExp = make([]float64, len(r.active))
+	for i, f := range r.active {
+		paths[i] = f.arcs
+		hopsExp[i] = f.hops
+	}
+	var caps []float64
+	if r.cfg.DemandCap > 0 {
+		caps = make([]float64, len(r.active))
+		for i := range caps {
+			caps[i] = float64(r.cfg.DemandCap)
+		}
+	}
+
+	if r.cfg.Policy != INRP {
+		r.detourRate = 0
+		return progressiveFill(paths, r.capBase, caps), hopsExp
+	}
+	return r.allocateINRPRef(paths, hopsExp, caps)
+}
+
+// allocateINRPRef is the seed per-flow pooling fixpoint.
+func (r *runner) allocateINRPRef(paths [][]int32, hopsExp []float64, caps []float64) ([]float64, []float64) {
+	n := r.nArcs
+	zero(r.grantsFor)
+	zero(r.detourLoad)
+	zero(r.extraWeighted)
+	r.grantRecs = r.grantRecs[:0]
+
+	capEff := make([]float64, n)
+	primaryLoad := make([]float64, n)
+	var rates []float64
+
+	for round := 0; round < r.cfg.PoolingRounds; round++ {
+		final := round == r.cfg.PoolingRounds-1
+
+		for a := 0; a < n; a++ {
+			capEff[a] = r.capBase[a] + r.grantsFor[a]
+		}
+		rates = progressiveFill(paths, capEff, caps)
+
+		zero(primaryLoad)
+		for i, p := range paths {
+			for _, a := range p {
+				primaryLoad[a] += rates[i]
+			}
+		}
+
+		var cands []congested
+		for a := 0; a < n; a++ {
+			over := primaryLoad[a] - r.capBase[a]
+			saturated := r.capBase[a]-primaryLoad[a] <= saturationEps(r.capBase[a])
+			if over > saturationEps(r.capBase[a]) || (!final && saturated) {
+				cands = append(cands, congested{arc: a, over: over})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].over != cands[j].over {
+				return cands[i].over > cands[j].over
+			}
+			return cands[i].arc < cands[j].arc
+		})
+
+		zero(r.grantsFor)
+		zero(r.detourLoad)
+		zero(r.extraWeighted)
+		r.grantRecs = r.grantRecs[:0]
+		for _, c := range cands {
+			req := primaryLoad[c.arc] + r.detourLoad[c.arc] - r.capBase[c.arc]
+			if !final {
+				req = optimisticOverflow
+			}
+			if req <= 0 {
+				continue
+			}
+			a := c.arc
+			residual := func(b topo.Arc) float64 {
+				bi := arcIndex(b)
+				res := r.capBase[bi] - primaryLoad[bi] - r.detourLoad[bi]
+				if res < 0 {
+					return 0
+				}
+				return res
+			}
+			grants, _ := r.planner.Plan(r.arcBack[a], bitRate(req), residualAdapter(residual))
+			for _, gr := range grants {
+				rate := float64(gr.Rate)
+				r.grantsFor[a] += rate
+				r.extraWeighted[a] += rate * float64(gr.Sub.Extra)
+				for _, b := range gr.Arcs {
+					r.detourLoad[arcIndex(b)] += rate
+				}
+				r.grantRecs = append(r.grantRecs, grantRec{
+					src: a, rate: rate, extra: float64(gr.Sub.Extra), arcs: gr.Arcs,
+				})
+			}
+		}
+	}
+
+	r.enforceFeasibilityRef(paths, rates, primaryLoad)
+
+	r.detourRate = 0
+	for a := 0; a < r.nArcs; a++ {
+		r.detourRate += r.grantsFor[a]
+	}
+	for i, p := range paths {
+		extra := 0.0
+		for _, a := range p {
+			if r.grantsFor[a] <= 0 || primaryLoad[a] <= 0 {
+				continue
+			}
+			phi := r.grantsFor[a] / primaryLoad[a]
+			if phi > 1 {
+				phi = 1
+			}
+			extra += phi * (r.extraWeighted[a] / r.grantsFor[a])
+		}
+		hopsExp[i] += extra
+	}
+	return rates, hopsExp
+}
+
+// enforceFeasibilityRef is the seed per-flow back-pressure pass, with the
+// detour-only overload branch fixed the same way as the class-based path
+// (shared shrinkGrants helper).
+func (r *runner) enforceFeasibilityRef(paths [][]int32, rates, primaryLoad []float64) {
+	for pass := 0; pass < r.nArcs; pass++ {
+		worst, worstExcess := -1, 0.0
+		for a := 0; a < r.nArcs; a++ {
+			direct := primaryLoad[a] - r.grantsFor[a]
+			excess := direct + r.detourLoad[a] - r.capBase[a]
+			if excess > saturationEps(r.capBase[a])+1e-9 && excess > worstExcess {
+				worst, worstExcess = a, excess
+			}
+		}
+		if worst < 0 {
+			return
+		}
+		r.res.Backpressured++
+		if primaryLoad[worst] <= 0 {
+			if !r.shrinkGrants(worst, worstExcess) {
+				return
+			}
+			continue
+		}
+		factor := 1 - worstExcess/primaryLoad[worst]
+		if factor < 0 {
+			factor = 0
+		}
+		for i, p := range paths {
+			onArc := false
+			for _, a := range p {
+				if a == int32(worst) {
+					onArc = true
+					break
+				}
+			}
+			if !onArc {
+				continue
+			}
+			cut := rates[i] * (1 - factor)
+			rates[i] -= cut
+			for _, a := range p {
+				primaryLoad[a] -= cut
+			}
+		}
+	}
+}
+
+// newTestRunner builds an initialised runner over g without running the
+// event loop.
+func newTestRunner(t *testing.T, g *topo.Graph, pol Policy, cap units.BitRate) *runner {
+	t.Helper()
+	cfg := Config{Graph: g, Policy: pol, DemandCap: cap}
+	cfg.PoolingRounds = 4
+	cfg.Planner = core.DefaultPlannerConfig()
+	r := &runner{cfg: cfg, g: g}
+	r.init()
+	return r
+}
+
+// randomGraph samples a small random connected topology.
+func randomGraph(rng *rand.Rand) *topo.Graph {
+	var g *topo.Graph
+	switch rng.Intn(3) {
+	case 0:
+		g = topo.ErdosRenyi(6+rng.Intn(10), 0.35, rng.Int63())
+	case 1:
+		g = topo.BarabasiAlbert(8+rng.Intn(10), 2, rng.Int63())
+	default:
+		g = topo.Waxman(8+rng.Intn(8), 0.6, 0.4, rng.Int63())
+	}
+	topo.Connect(g)
+	// Tight uniform capacities put many arcs near saturation, making the
+	// fill's freeze ordering nontrivial.
+	g.SetAllCapacities(units.BitRate(50+rng.Intn(200)) * units.Mbps)
+	return g
+}
+
+// checkEqual requires two allocations to be bit-identical.
+func checkEqual(t *testing.T, trial int, what string, ref, got []float64) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("trial %d: %s length %d vs %d", trial, what, len(ref), len(got))
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("trial %d: %s[%d] differs: reference %v, class-based %v (Δ=%g)",
+				trial, what, i, ref[i], got[i], got[i]-ref[i])
+		}
+	}
+}
+
+// driveEquivalence admits a random workload in arrival order, invoking
+// both allocators after every admit batch and after random finishes, and
+// requires bit-identical outputs throughout.
+func driveEquivalence(t *testing.T, trial int, r *runner, flows []workload.Flow, rng *rand.Rand) {
+	t.Helper()
+	next := 0
+	for next < len(flows) || len(r.active) > 0 {
+		// Admit a batch.
+		batch := 1 + rng.Intn(4)
+		for b := 0; b < batch && next < len(flows); b++ {
+			if err := r.admit(flows[next], flows[next].Arrival.Seconds()); err != nil {
+				// Unreachable endpoint in a random graph: skip the flow.
+				next++
+				b--
+				continue
+			}
+			next++
+		}
+
+		bp := r.res.Backpressured
+		refRates, refHops := r.allocateRef()
+		refBP := r.res.Backpressured - bp
+		refDetour := r.detourRate
+		// Copy: the reference shares no buffers with allocate, but keep
+		// the comparison honest against scratch reuse.
+		refRates = append([]float64(nil), refRates...)
+		refHops = append([]float64(nil), refHops...)
+
+		r.res.Backpressured = bp
+		rates, hops := r.allocate()
+		gotBP := r.res.Backpressured - bp
+
+		checkEqual(t, trial, "rates", refRates, rates)
+		checkEqual(t, trial, "hopsExp", refHops, hops)
+		if refBP != gotBP {
+			t.Fatalf("trial %d: Backpressured %d (reference) vs %d (class-based)", trial, refBP, gotBP)
+		}
+		if refDetour != r.detourRate {
+			t.Fatalf("trial %d: detourRate %v vs %v", trial, refDetour, r.detourRate)
+		}
+
+		// Finish a random subset, exercising incremental class membership.
+		if len(r.active) > 0 && rng.Intn(2) == 0 {
+			kept := r.active[:0]
+			for _, f := range r.active {
+				if rng.Intn(3) == 0 {
+					r.finish(f, f.arrival+1)
+					continue
+				}
+				kept = append(kept, f)
+			}
+			r.active = kept
+		}
+		if next >= len(flows) {
+			// Drain everything to terminate.
+			for _, f := range r.active {
+				r.finish(f, f.arrival+1)
+			}
+			r.active = r.active[:0]
+		}
+	}
+}
+
+// TestClassAllocatorEquivalence is the tentpole property test: on random
+// graphs and workloads, the class-based allocator must produce
+// bit-identical rates and expected hops to the retained per-flow
+// reference — elastic and demand-capped, for all three policies.
+func TestClassAllocatorEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	for trial := 0; trial < trials; trial++ {
+		g := randomGraph(rng)
+		pol := []Policy{SP, ECMP, INRP}[rng.Intn(3)]
+		var cap units.BitRate
+		if rng.Intn(2) == 0 {
+			cap = units.BitRate(20+rng.Intn(100)) * units.Mbps
+		}
+		r := newTestRunner(t, g, pol, cap)
+		flows := workload.Generate(workload.Spec{
+			Arrivals: workload.NewPoisson(20, rng.Int63()),
+			Sizes:    workload.NewBoundedPareto(1.5, units.MB, 100*units.MB, rng.Int63()),
+			Matrix:   workload.NewGravity(g, rng.Int63()),
+			Count:    10 + rng.Intn(40),
+		})
+		driveEquivalence(t, trial, r, flows, rng)
+	}
+}
+
+// TestClassFillMatchesProgressiveFill drives the weighted class fill
+// directly against the per-flow reference on synthetic path sets with
+// duplicate paths and mixed caps — including empty paths (unconstrained
+// flows) and zero-capacity arcs.
+func TestClassFillMatchesProgressiveFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(rng)
+		var cap units.BitRate
+		if rng.Intn(2) == 0 {
+			cap = units.BitRate(10+rng.Intn(60)) * units.Mbps
+		}
+		r := newTestRunner(t, g, SP, cap)
+
+		// Admit random flows, many sharing (src, dst) so classes collapse.
+		nPairs := 1 + rng.Intn(5)
+		type pair struct{ src, dst topo.NodeID }
+		pairs := make([]pair, nPairs)
+		for i := range pairs {
+			pairs[i] = pair{topo.NodeID(rng.Intn(g.NumNodes())), topo.NodeID(rng.Intn(g.NumNodes()))}
+		}
+		id := 0
+		for i := 0; i < 3+rng.Intn(30); i++ {
+			p := pairs[rng.Intn(nPairs)]
+			f := workload.Flow{ID: id, Src: p.src, Dst: p.dst, Size: units.MB}
+			if err := r.admit(f, 0); err != nil {
+				continue
+			}
+			id++
+		}
+
+		paths := make([][]int32, len(r.active))
+		for i, f := range r.active {
+			paths[i] = f.arcs
+		}
+		var caps []float64
+		if cap > 0 {
+			caps = make([]float64, len(r.active))
+			for i := range caps {
+				caps[i] = float64(cap)
+			}
+		}
+		ref := progressiveFill(paths, r.capBase, caps)
+		classRate := r.classFill(r.capBase)
+		for i, f := range r.active {
+			if ref[i] != classRate[f.class] {
+				t.Fatalf("trial %d: flow %d rate %v (per-flow) vs %v (class)",
+					trial, i, ref[i], classRate[f.class])
+			}
+		}
+	}
+}

@@ -121,6 +121,7 @@ type flowState struct {
 	id      int
 	path    route.Path
 	arcs    []int32 // arc indexes of the primary path
+	class   int32   // flow-class index (see classes.go)
 	hops    float64 // primary hop count
 	arrival float64 // seconds
 
@@ -152,8 +153,7 @@ type runner struct {
 	g   *topo.Graph
 
 	nArcs   int
-	capBase []float64 // bits/s per arc
-	arcOf   func(topo.Arc) int32
+	capBase []float64  // bits/s per arc
 	arcBack []topo.Arc // index → Arc
 
 	spTrees map[topo.NodeID]*route.Tree
@@ -163,6 +163,13 @@ type runner struct {
 	active []*flowState
 	res    Result
 
+	// Flow-class registry (classes.go): classes never shrink, indices are
+	// stable, and arcClasses[a] lists every class crossing arc a.
+	classes    []flowClass
+	classOf    map[string]int32
+	arcClasses [][]int32
+	keyScratch []byte
+
 	// INRP pooling state, recomputed at every allocation.
 	grantsFor     []float64 // per arc: overflow successfully detoured
 	detourLoad    []float64 // per arc: detour traffic landed on it
@@ -170,10 +177,32 @@ type runner struct {
 	detourRate    float64   // bits/s currently travelling via detours
 	arcBusy       []float64 // bits carried per arc (utilisation)
 	detourBits    float64
+	residualFn    core.ResidualFunc // planning residual, bound once
+
+	// Allocator scratch, reused across allocate() calls so the hot path
+	// performs no heap allocation in steady state.
+	ratesBuf    []float64     // per flow: expanded rates
+	hopsBuf     []float64     // per flow: expanded expected hops
+	capEff      []float64     // per arc: pooled effective capacity
+	primaryLoad []float64     // per arc: primary traffic of the round
+	fillLoad    []float64     // per arc: classFill working load
+	fillWeight  []int         // per arc: classFill unfrozen weight
+	activeArcs  []int32       // classFill: arcs carrying unfrozen weight
+	satSlack    []float64     // per arc: classFill saturation tolerance
+	satArcs     []int32       // classFill: arcs saturating at one event
+	classRate   []float64     // per class: fill result / feasible rate
+	classFrozen []bool        // per class: classFill freeze marks
+	classCut    []float64     // per class: feasibility cut of the pass
+	classExtra  []float64     // per class: expected extra (detour) hops
+	cands       congestedList // saturated-arc candidates of a round
+	grantRecs   []grantRec    // detour grants of the current plan
 
 	satBits    float64 // Σ allocated rate × dt (demand-capped runs)
 	demandBits float64 // Σ demanded rate × dt
 }
+
+// arcIndex maps a directed arc to its dense index (2×link + direction).
+func arcIndex(a topo.Arc) int32 { return int32(2*int(a.Link) + int(a.Dir)) }
 
 // bitRate converts allocator floats back to the planner's unit type.
 func bitRate(x float64) units.BitRate { return units.BitRate(x) }
@@ -195,7 +224,6 @@ func (r *runner) init() {
 		r.arcBack[2*int(l.ID)] = topo.Arc{Link: l.ID, Dir: topo.Forward}
 		r.arcBack[2*int(l.ID)+1] = topo.Arc{Link: l.ID, Dir: topo.Reverse}
 	}
-	r.arcOf = func(a topo.Arc) int32 { return int32(2*int(a.Link) + int(a.Dir)) }
 	r.spTrees = make(map[topo.NodeID]*route.Tree)
 	r.ecmp = make(map[topo.NodeID]*route.ECMP)
 	if r.cfg.Policy == INRP {
@@ -205,6 +233,21 @@ func (r *runner) init() {
 	r.detourLoad = make([]float64, r.nArcs)
 	r.extraWeighted = make([]float64, r.nArcs)
 	r.arcBusy = make([]float64, r.nArcs)
+	r.classOf = make(map[string]int32)
+	r.arcClasses = make([][]int32, r.nArcs)
+	r.capEff = make([]float64, r.nArcs)
+	r.primaryLoad = make([]float64, r.nArcs)
+	r.fillLoad = make([]float64, r.nArcs)
+	r.fillWeight = make([]int, r.nArcs)
+	r.satSlack = make([]float64, r.nArcs)
+	r.residualFn = residualAdapter(func(b topo.Arc) float64 {
+		bi := arcIndex(b)
+		res := r.capBase[bi] - r.primaryLoad[bi] - r.detourLoad[bi]
+		if res < 0 {
+			return 0
+		}
+		return res
+	})
 	r.res.Policy = r.cfg.Policy
 }
 
@@ -239,13 +282,17 @@ func (r *runner) admit(f workload.Flow, now float64) error {
 	}
 	idx := make([]int32, len(arcs))
 	for i, a := range arcs {
-		idx[i] = r.arcOf(a)
+		idx[i] = arcIndex(a)
 	}
+	hops := float64(len(arcs))
+	class := r.classFor(idx, hops)
+	r.classes[class].weight++
 	r.active = append(r.active, &flowState{
 		id:        f.ID,
 		path:      p,
 		arcs:      idx,
-		hops:      float64(len(arcs)),
+		class:     class,
+		hops:      hops,
 		arrival:   now,
 		remaining: f.Size.Bits(),
 		sizeBits:  f.Size.Bits(),
@@ -355,6 +402,7 @@ func (r *runner) run() (*Result, error) {
 }
 
 func (r *runner) finish(f *flowState, now float64) {
+	r.classes[f.class].weight--
 	r.res.Completed++
 	r.res.Delivered += units.ByteSize(f.delivered / 8)
 	fct := now - f.arrival

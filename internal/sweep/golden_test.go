@@ -1,0 +1,187 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// The golden fixtures below pin the exact Table/CSV/JSON bytes of a flow
+// sweep and a chunk sweep, captured from the seed implementations before
+// the flow-class allocator and the pooled-object DES landed. They are the
+// determinism contract of the performance work: any refactor of the
+// simulation hot paths must keep rendered output byte-identical.
+//
+// Regenerate (only when an intentional physics change lands) with:
+//
+//	go test ./internal/sweep -run TestGolden -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden sweep output fixtures")
+
+// goldenFlowScenarios is a reduced Figure 4-shaped grid: every policy over
+// identical workloads at two loads and two replicas.
+func goldenFlowScenarios() []Scenario {
+	grid := NewGrid().
+		Axis("isp", string(topo.Exodus)).
+		Axis("flows", "30", "60").
+		Axis("policy", "sp", "ecmp", "inrp").
+		SeedAxes("isp", "flows")
+	return grid.Expand(7, 2, func(pt Point, replica int, seed int64) RunFunc {
+		n := 30
+		if pt.Get("flows") == "60" {
+			n = 60
+		}
+		spec := FlowSpec{
+			ISP:       topo.Exodus,
+			Capacity:  450 * units.Mbps,
+			Policy:    MustParsePolicy(pt.Get("policy")),
+			Flows:     n,
+			MeanSize:  50 * units.MB,
+			DemandCap: 300 * units.Mbps,
+			Horizon:   4 * time.Second,
+		}
+		return spec.Run(seed)
+	})
+}
+
+// goldenChunkScenarios is a reduced custody-chain grid: all three
+// transports at two load levels.
+func goldenChunkScenarios() []Scenario {
+	grid := NewGrid().
+		Axis("transport", "inrpp", "aimd", "arc").
+		Axis("transfers", "1", "3").
+		SeedAxes("transfers")
+	return grid.Expand(7, 2, func(pt Point, replica int, seed int64) RunFunc {
+		transfers := 1
+		if pt.Get("transfers") == "3" {
+			transfers = 3
+		}
+		spec := ChunkSpec{
+			Transport:   MustParseTransport(pt.Get("transport")),
+			IngressRate: units.Gbps,
+			EgressRate:  200 * units.Mbps,
+			ChunkSize:   100 * units.KB,
+			Custody:     50 * units.MB,
+			Buffer:      2 * units.MB,
+			Transfers:   transfers,
+			Chunks:      200,
+			Horizon:     2 * time.Second,
+			Ti:          10 * time.Millisecond,
+		}
+		return spec.Run(seed)
+	})
+}
+
+// renderGolden runs the scenarios and renders all three output formats
+// the way cmd/sweep does.
+func renderGolden(t *testing.T, scenarios []Scenario) (table, csv, jsonOut []byte) {
+	t.Helper()
+	acc := NewAccumulator(AccumulatorConfig{Mode: AggExact}, scenarios)
+	runner := &Runner{Workers: 4}
+	failed, err := runner.Accumulate(context.Background(), scenarios, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) > 0 {
+		t.Fatalf("scenario failed: %v", failed[0].Err)
+	}
+	aggs, err := acc.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb, cb, jb bytes.Buffer
+	if err := Table("golden", aggs).Render(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := CSV(&cb, aggs); err != nil {
+		t.Fatal(err)
+	}
+	if err := JSON(&jb, aggs); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), cb.Bytes(), jb.Bytes()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s (regenerate with -update-golden): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output bytes differ from golden fixture\ngot:\n%s\nwant:\n%s",
+			name, clip(got), clip(want))
+	}
+}
+
+func clip(b []byte) string {
+	const max = 4000
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}
+
+// TestGoldenFlowSweep pins the rendered bytes of a flow-mode sweep
+// against the seed allocator's output.
+func TestGoldenFlowSweep(t *testing.T) {
+	table, csv, jsonOut := renderGolden(t, goldenFlowScenarios())
+	checkGolden(t, "golden_flow_table.txt", table)
+	checkGolden(t, "golden_flow.csv", csv)
+	checkGolden(t, "golden_flow.json", jsonOut)
+}
+
+// TestGoldenChunkSweep pins the rendered bytes of a chunk-mode sweep
+// against the seed DES's output.
+func TestGoldenChunkSweep(t *testing.T) {
+	table, csv, jsonOut := renderGolden(t, goldenChunkScenarios())
+	checkGolden(t, "golden_chunk_table.txt", table)
+	checkGolden(t, "golden_chunk.csv", csv)
+	checkGolden(t, "golden_chunk.json", jsonOut)
+}
+
+// TestGoldenWorkerInvariance re-renders the flow sweep single-threaded:
+// output bytes must not depend on the worker count.
+func TestGoldenWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	scenarios := goldenFlowScenarios()
+	acc := NewAccumulator(AccumulatorConfig{Mode: AggExact}, scenarios)
+	runner := &Runner{Workers: 1}
+	if _, err := runner.Accumulate(context.Background(), scenarios, acc); err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := acc.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb bytes.Buffer
+	if err := CSV(&cb, aggs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_flow.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb.Bytes(), want) {
+		t.Error("single-worker run renders different bytes than golden fixture")
+	}
+}

@@ -30,6 +30,18 @@ type Runner struct {
 	// returns other shards' results carrying ErrOtherShard, Resume never
 	// re-runs them, and Progress counts only this shard's scenarios.
 	Shard Shard
+	// Partition, when non-nil, overrides Shard with an arbitrary
+	// partitioner — e.g. a cost-balanced WeightedShard. All shard
+	// semantics above apply unchanged.
+	Partition Partitioner
+}
+
+// owns reports whether this runner's partition slice owns the scenario.
+func (r *Runner) owns(sc Scenario) bool {
+	if r.Partition != nil {
+		return r.Partition.Contains(sc)
+	}
+	return r.Shard.Contains(sc)
 }
 
 // Run executes the scenarios and returns one Result per scenario, in
@@ -46,7 +58,7 @@ func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
 	results := make([]Result, len(scenarios))
 	indices := make([]int, 0, len(scenarios))
 	for i, sc := range scenarios {
-		if !r.Shard.Contains(sc) {
+		if !r.owns(sc) {
 			results[i] = Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard}
 			continue
 		}
@@ -68,7 +80,7 @@ func (r *Runner) Accumulate(ctx context.Context, scenarios []Scenario, acc *Accu
 	obs := &resultObserver{acc: acc}
 	indices := make([]int, 0, len(scenarios))
 	for i, sc := range scenarios {
-		if !r.Shard.Contains(sc) {
+		if !r.owns(sc) {
 			obs.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
 			continue
 		}
@@ -92,7 +104,7 @@ func (r *Runner) ResumeAccumulate(ctx context.Context, scenarios []Scenario, pri
 	var pending []int
 	for i, res := range prior {
 		sc := scenarios[i]
-		if !r.Shard.Contains(sc) {
+		if !r.owns(sc) {
 			obs.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
 			continue
 		}
@@ -155,7 +167,7 @@ func (r *Runner) ResumeCheckpointAccumulate(ctx context.Context, path, label str
 	restored := 0
 	var pending, restorable []int
 	for i, sc := range scenarios {
-		if !r.Shard.Contains(sc) {
+		if !r.owns(sc) {
 			obs.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
 			continue
 		}
@@ -270,7 +282,7 @@ func (r *Runner) Resume(ctx context.Context, scenarios []Scenario, results []Res
 	patched := append([]Result(nil), results...)
 	var pending []int
 	for i, res := range patched {
-		if !r.Shard.Contains(scenarios[i]) {
+		if !r.owns(scenarios[i]) {
 			sc := scenarios[i]
 			patched[i] = Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard}
 			continue

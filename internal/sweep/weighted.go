@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CostFunc estimates the relative execution cost of one scenario, in any
+// consistent unit (virtual seconds, chunk count, …). Costs only steer
+// the partition balance; they never affect results.
+type CostFunc func(Scenario) float64
+
+// Partitioner selects the scenarios one process owns out of an expanded
+// grid. Shard (identity-hash partition) and WeightedShard (cost-balanced
+// partition) both implement it; Runner.Partition accepts either.
+type Partitioner interface {
+	// Contains reports whether this partition slice owns the scenario.
+	Contains(Scenario) bool
+	// Select returns the owned scenarios, preserving scenario order.
+	Select([]Scenario) []Scenario
+}
+
+// WeightedShard is one slice of a cost-balanced Count-way partition of
+// an expanded scenario grid: scenarios are assigned to slices by greedy
+// longest-processing-time (LPT) scheduling on a per-scenario cost
+// estimate, so heterogeneous grids split by predicted wall-clock rather
+// than scenario count. The assignment is deterministic — ties in cost
+// order break by scenario name, ties in load break by slice index — so
+// every host derives the identical partition from the same grid and
+// cost model.
+//
+// Shards produced this way write the same standard checkpoints as the
+// hash partition and merge with MergeCheckpoints exactly the same way:
+// the partition only decides who runs what, never what a scenario is.
+type WeightedShard struct {
+	// Index is the 0-based slice this process runs.
+	Index int
+	// Count is the total number of slices.
+	Count int
+
+	owner map[string]int // scenario name → owning slice
+}
+
+// ShardWeighted builds the cost-balanced partition of the scenarios and
+// returns its index-th slice. The same (scenarios, count, cost) inputs
+// always produce the same partition.
+func ShardWeighted(index, count int, scenarios []Scenario, cost CostFunc) (*WeightedShard, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("sweep: weighted shard count %d must be ≥ 1", count)
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("sweep: weighted shard index %d out of range [0,%d)", index, count)
+	}
+	if cost == nil {
+		return nil, fmt.Errorf("sweep: weighted shard needs a cost function")
+	}
+
+	type weighted struct {
+		name string
+		cost float64
+	}
+	items := make([]weighted, len(scenarios))
+	for i, sc := range scenarios {
+		c := cost(sc)
+		if c < 0 {
+			c = 0
+		}
+		items[i] = weighted{name: sc.Name, cost: c}
+	}
+	// LPT order: heaviest first; names are the deterministic tiebreak
+	// (they are unique per expanded grid).
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].cost != items[j].cost {
+			return items[i].cost > items[j].cost
+		}
+		return items[i].name < items[j].name
+	})
+
+	owner := make(map[string]int, len(items))
+	loads := make([]float64, count)
+	for _, it := range items {
+		if _, dup := owner[it.name]; dup {
+			return nil, fmt.Errorf("sweep: duplicate scenario name %q in weighted shard input", it.name)
+		}
+		best := 0
+		for s := 1; s < count; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		owner[it.name] = best
+		loads[best] += it.cost
+	}
+	return &WeightedShard{Index: index, Count: count, owner: owner}, nil
+}
+
+// String renders the canonical "index/count (weighted)" form.
+func (w *WeightedShard) String() string {
+	return fmt.Sprintf("%d/%d (weighted)", w.Index, w.Count)
+}
+
+// Contains reports whether this slice owns the scenario. Scenarios the
+// partition was not built over are owned by no slice.
+func (w *WeightedShard) Contains(sc Scenario) bool {
+	if w.Count <= 1 {
+		return true
+	}
+	owner, ok := w.owner[sc.Name]
+	return ok && owner == w.Index
+}
+
+// Select returns the scenarios this slice owns, preserving order.
+func (w *WeightedShard) Select(scenarios []Scenario) []Scenario {
+	if w.Count <= 1 {
+		return scenarios
+	}
+	var out []Scenario
+	for _, sc := range scenarios {
+		if w.Contains(sc) {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// Load returns the summed cost assigned to each slice — diagnostics for
+// balance reporting and tests.
+func (w *WeightedShard) Load(scenarios []Scenario, cost CostFunc) []float64 {
+	loads := make([]float64, w.Count)
+	for _, sc := range scenarios {
+		if owner, ok := w.owner[sc.Name]; ok {
+			c := cost(sc)
+			if c < 0 {
+				c = 0
+			}
+			loads[owner] += c
+		}
+	}
+	return loads
+}

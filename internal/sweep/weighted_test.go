@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// weightedCost is the test cost model: the load axis value, so scenario
+// costs are heterogeneous and deterministic.
+func weightedCost(sc Scenario) float64 {
+	n, _ := strconv.Atoi(sc.Point.Get("load"))
+	return float64(n)
+}
+
+// TestShardWeightedPartition is the property test over random grids:
+// every scenario is owned by exactly one slice (full coverage, no
+// overlap), Select preserves order, and the greedy LPT balance respects
+// the standard bound (max load ≤ mean + max single cost).
+func TestShardWeightedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		replicas := 1 + rng.Intn(4)
+		scenarios := syntheticScenarios(int64(trial), replicas)
+		count := 1 + rng.Intn(5)
+
+		shards := make([]*WeightedShard, count)
+		for i := range shards {
+			ws, err := ShardWeighted(i, count, scenarios, weightedCost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards[i] = ws
+		}
+
+		// Coverage and disjointness.
+		owners := make(map[string]int)
+		for _, sc := range scenarios {
+			n := 0
+			for _, ws := range shards {
+				if ws.Contains(sc) {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("trial %d: scenario %q owned by %d slices, want 1", trial, sc.Name, n)
+			}
+			owners[sc.Name]++
+		}
+		if len(owners) != len(scenarios) {
+			t.Fatalf("trial %d: %d distinct names for %d scenarios", trial, len(owners), len(scenarios))
+		}
+
+		// Select: order-preserving, and the slices re-assemble the grid.
+		index := make(map[string]int, len(scenarios))
+		for i, sc := range scenarios {
+			index[sc.Name] = i
+		}
+		total := 0
+		for _, ws := range shards {
+			sel := ws.Select(scenarios)
+			total += len(sel)
+			for i := 1; i < len(sel); i++ {
+				if index[sel[i-1].Name] >= index[sel[i].Name] {
+					t.Fatalf("trial %d: Select broke scenario order", trial)
+				}
+			}
+		}
+		if total != len(scenarios) {
+			t.Fatalf("trial %d: slices select %d scenarios, grid has %d", trial, total, len(scenarios))
+		}
+
+		// LPT balance bound: max ≤ mean + max single cost.
+		var sum, maxCost float64
+		for _, sc := range scenarios {
+			c := weightedCost(sc)
+			sum += c
+			if c > maxCost {
+				maxCost = c
+			}
+		}
+		loads := shards[0].Load(scenarios, weightedCost)
+		for s, l := range loads {
+			if l > sum/float64(count)+maxCost+1e-9 {
+				t.Fatalf("trial %d: slice %d load %g exceeds mean %g + max %g",
+					trial, s, l, sum/float64(count), maxCost)
+			}
+		}
+
+		// Determinism: rebuilding yields the identical assignment.
+		again, err := ShardWeighted(0, count, scenarios, weightedCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range scenarios {
+			if shards[0].Contains(sc) != again.Contains(sc) {
+				t.Fatalf("trial %d: assignment not deterministic for %q", trial, sc.Name)
+			}
+		}
+	}
+}
+
+// TestShardWeightedValidation rejects malformed partitions.
+func TestShardWeightedValidation(t *testing.T) {
+	scenarios := syntheticScenarios(1, 1)
+	if _, err := ShardWeighted(0, 0, scenarios, weightedCost); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if _, err := ShardWeighted(2, 2, scenarios, weightedCost); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := ShardWeighted(0, 2, scenarios, nil); err == nil {
+		t.Error("nil cost function accepted")
+	}
+}
+
+// TestShardWeightedMergeCompatibility runs a grid as two weighted shards
+// with standard checkpoints and merges the files: the merged output must
+// be byte-identical to an unsharded run — the same contract the
+// identity-hash partition honours.
+func TestShardWeightedMergeCompatibility(t *testing.T) {
+	const label = "weighted-merge-test"
+	scenarios := syntheticScenarios(7, 2)
+	golden := renderAll(t, (&Runner{Workers: 4}).Run(context.Background(), scenarios))
+
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 2; i++ {
+		ws, err := ShardWeighted(i, 2, scenarios, weightedCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "shard"+strconv.Itoa(i)+".jsonl")
+		cp, err := NewCheckpoint(path, label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner := &Runner{Workers: 2, Partition: ws, Progress: cp.Progress(nil)}
+		results := runner.Run(context.Background(), scenarios)
+		if err := cp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ran := 0
+		for _, res := range results {
+			if res.Err == nil {
+				ran++
+			}
+		}
+		if ran != len(ws.Select(scenarios)) {
+			t.Fatalf("shard %d ran %d scenarios, owns %d", i, ran, len(ws.Select(scenarios)))
+		}
+		paths = append(paths, path)
+	}
+
+	merged, err := MergeCheckpoints(label, scenarios, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAll(t, merged); !bytes.Equal(got, golden) {
+		t.Error("merged weighted-shard output differs from unsharded run")
+	}
+
+	// A deliberately incomplete merge still fails loudly.
+	if _, err := MergeCheckpoints(label, scenarios, paths[0]); err == nil {
+		t.Error("merge of one weighted shard out of two did not report missing scenarios")
+	}
+
+	// Weighted and hash partitions interoperate at merge time: the merge
+	// only sees scenario records, never the partition rule.
+	_ = os.Remove(paths[0])
+}

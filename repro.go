@@ -92,6 +92,16 @@ type (
 	// expanded scenario grid, so a sweep can be split across machines and
 	// recombined with MergeSweepCheckpoints.
 	SweepShard = sweep.Shard
+	// SweepWeightedShard is one slice of a cost-balanced (greedy LPT)
+	// partition — balances predicted wall-clock instead of scenario
+	// counts on heterogeneous grids; build with ShardSweepWeighted.
+	SweepWeightedShard = sweep.WeightedShard
+	// SweepCostFunc estimates a scenario's relative execution cost for
+	// weighted sharding.
+	SweepCostFunc = sweep.CostFunc
+	// SweepPartitioner selects the scenarios one process owns; SweepShard
+	// and SweepWeightedShard both implement it.
+	SweepPartitioner = sweep.Partitioner
 	// SweepAccumulator folds results into per-point aggregates as workers
 	// finish, instead of materialising the full result slice first.
 	SweepAccumulator = sweep.Accumulator
@@ -221,6 +231,21 @@ func ParseSweepShard(s string) (SweepShard, error) { return sweep.ParseShard(s) 
 // aggregation), so N machines can each run one slice of the same grid.
 func RunSweepShard(ctx context.Context, workers int, shard SweepShard, scenarios []SweepScenario) []SweepResult {
 	return (&sweep.Runner{Workers: workers, Shard: shard}).Run(ctx, scenarios)
+}
+
+// ShardSweepWeighted builds the deterministic cost-balanced partition of
+// the scenarios (greedy longest-processing-time on the cost estimate)
+// and returns its index-th slice. Weighted shards write the same
+// checkpoints as hash shards and merge identically.
+func ShardSweepWeighted(index, count int, scenarios []SweepScenario, cost SweepCostFunc) (*SweepWeightedShard, error) {
+	return sweep.ShardWeighted(index, count, scenarios, cost)
+}
+
+// RunSweepPartition executes only the scenarios the partition owns —
+// the generalisation of RunSweepShard to any SweepPartitioner, e.g. a
+// SweepWeightedShard.
+func RunSweepPartition(ctx context.Context, workers int, part SweepPartitioner, scenarios []SweepScenario) []SweepResult {
+	return (&sweep.Runner{Workers: workers, Partition: part}).Run(ctx, scenarios)
 }
 
 // MergeSweepCheckpoints combines per-shard checkpoint files into the

@@ -1,0 +1,120 @@
+#!/bin/sh
+# bench.sh — run the perf benchmark suite and snapshot it as BENCH_<n>.json.
+#
+# Usage:
+#   scripts/bench.sh            run the suite, write BENCH_<n>.json (next
+#                               free index) at the repo root
+#   scripts/bench.sh smoke      run the suite, write nothing, and fail when
+#                               a gated benchmark's allocs/op regresses more
+#                               than ALLOW_PCT (default 25%) over the newest
+#                               committed BENCH_*.json snapshot
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 1x — every benchmark in
+#               the suite is sized to be meaningful in a single iteration)
+#   ALLOW_PCT   smoke-mode allocs/op regression allowance in percent
+#
+# The suite covers the two simulation hot paths (flowsim allocator,
+# chunknet DES) plus the DES kernel; allocs/op is the gated metric because
+# it is machine-independent, unlike wall-clock.
+set -eu
+
+cd "$(dirname "$0")/.." || exit 1
+
+MODE="${1:-snapshot}"
+BENCHTIME="${BENCHTIME:-1x}"
+ALLOW_PCT="${ALLOW_PCT:-25}"
+
+# Gated benchmarks: the DES kernel and the allocator/simulator hot paths.
+# A smoke run fails when any of these regresses in allocs/op.
+GATED="BenchmarkScheduleAndRun BenchmarkFig4Scaled/SP BenchmarkFig4Scaled/INRP BenchmarkChunknetFanIn"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+run_pkg() {
+    pkg="$1"
+    pattern="$2"
+    go test -run '^$' -bench "$pattern" -benchtime "$BENCHTIME" -benchmem "$pkg" >>"$RAW"
+}
+
+echo "bench: running suite (benchtime $BENCHTIME)..." >&2
+run_pkg . 'BenchmarkFig4Scaled|BenchmarkChunknetFanIn'
+run_pkg ./internal/flowsim 'BenchmarkProgressiveFill|BenchmarkFillClasses|BenchmarkRunINRP'
+run_pkg ./internal/des 'BenchmarkScheduleAndRun'
+
+# Extract "name ns_per_op bytes_per_op allocs_per_op" rows from the raw
+# `go test -bench` output. Benchmark lines pair each value with its unit,
+# so scan fields for the unit and take the preceding field. The trailing
+# -N GOMAXPROCS suffix is stripped so snapshots compare across machines.
+extract() {
+    awk '/^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op") ns = $(i-1)
+            if ($i == "B/op") bytes = $(i-1)
+            if ($i == "allocs/op") allocs = $(i-1)
+        }
+        if (ns != "") printf "%s %s %s %s\n", name, ns, bytes, allocs
+    }' "$1"
+}
+
+to_json() {
+    printf '{\n  "benchtime": "%s",\n  "benchmarks": [\n' "$BENCHTIME"
+    extract "$RAW" | awk '{
+        if (NR > 1) printf ",\n"
+        printf "    {\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", $1, $2, $3, $4
+    }'
+    printf '\n  ]\n}\n'
+}
+
+if [ "$MODE" = "smoke" ]; then
+    # Newest committed snapshot by index.
+    base=""
+    n=0
+    while [ -e "BENCH_$n.json" ]; do
+        base="BENCH_$n.json"
+        n=$((n + 1))
+    done
+    if [ -z "$base" ]; then
+        echo "bench: smoke: no BENCH_*.json baseline committed" >&2
+        exit 1
+    fi
+    echo "bench: smoke: comparing allocs/op against $base (allow +$ALLOW_PCT%)" >&2
+    fail=0
+    # shellcheck disable=SC2086 # word splitting of GATED is the iteration
+    for g in $GATED; do
+        baseline="$(awk -F'"allocs_per_op":' -v name="\"name\":\"$g\"" \
+            'index($0, name) { sub(/[^0-9].*/, "", $2); print $2 }' "$base")"
+        current="$(extract "$RAW" | awk -v name="$g" '$1 == name { print $4 }')"
+        if [ -z "$current" ]; then
+            echo "bench: smoke: gated benchmark $g missing from run" >&2
+            fail=1
+            continue
+        fi
+        if [ -z "$baseline" ]; then
+            echo "bench: smoke: $g absent from $base — skipping" >&2
+            continue
+        fi
+        # Fail when current > baseline × (1 + ALLOW_PCT/100) + 16; the
+        # absolute slack keeps near-zero baselines from tripping on noise.
+        if awk -v c="$current" -v b="$baseline" -v pct="$ALLOW_PCT" \
+            'BEGIN { exit !(c > b * (1 + pct / 100) + 16) }'; then
+            echo "bench: smoke: FAIL $g allocs/op $current vs baseline $baseline" >&2
+            fail=1
+        else
+            echo "bench: smoke: ok   $g allocs/op $current vs baseline $baseline" >&2
+        fi
+    done
+    exit "$fail"
+fi
+
+n=0
+while [ -e "BENCH_$n.json" ]; do
+    n=$((n + 1))
+done
+out="BENCH_$n.json"
+to_json >"$out"
+echo "bench: wrote $out" >&2
+cat "$out"
