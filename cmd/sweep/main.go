@@ -13,7 +13,7 @@
 //	sweep -isps "Tiscali (EU),Exodus (US)" -policies sp,ecmp,inrp \
 //	      -flows 60,120,240 -replicas 3 -seed 1 -workers 0 \
 //	      -capacity 450Mbps -demand 300Mbps -size 150MB -horizon 8s \
-//	      -format table|csv|json [-metrics demand_satisfied,jain] [-q]
+//	      -format table|csv|json [-columns demand_satisfied,jain] [-q]
 //
 //	sweep -mode chunk -transports inrpp,aimd,arc -anticipations 256,4096 \
 //	      -custody 1GB,10GB -transfers 1,4 -chunks 2000 -replicas 3
@@ -55,8 +55,23 @@
 // Every host must pass the same flags; the resulting checkpoints merge
 // exactly like hash-partitioned ones.
 //
+// Every run is instrumented through internal/obs. -metrics ADDR serves
+// live snapshots of the shared registry over HTTP while the sweep runs
+// (GET /metrics for Prometheus text format, GET /snapshot for JSON;
+// -metrics-linger keeps serving the final state after completion so
+// scrapers catch it). -trace FILE streams a sampled sim-time JSONL event
+// trace (custody enter/exit, detours, back-pressure, flow admit/finish),
+// one record in -trace-sample per event kind. A periodic stderr progress
+// line (done/total, rate, ETA — period set by -progress-every) rides on
+// the same counters; -q silences it along with the per-scenario lines.
+// -checkpoint-obs embeds a per-scenario observability summary in
+// checkpoint records (old readers ignore it; default off keeps files
+// byte-identical to pre-observability checkpoints).
+//
 // -cpuprofile FILE and -memprofile FILE write pprof profiles of the
-// sweep for performance work (see the README benchmarking cookbook).
+// sweep for performance work (see the README benchmarking cookbook);
+// -exectrace FILE captures a runtime execution trace the same way. All
+// three flush on every exit path.
 //
 // The workload seed at each grid point is derived from the point minus
 // the comparison axis (policy in flow mode; transport/ac/custody in chunk
@@ -69,13 +84,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/internal/units"
@@ -88,8 +108,15 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	horizon := flag.Duration("horizon", 0, "virtual time horizon per scenario (0 = mode default: 8s flow, 5s chunk)")
 	format := flag.String("format", "table", "output format: table|csv|json")
-	metricsList := flag.String("metrics", "", "comma-separated metric subset (default: all)")
+	metricsList := flag.String("columns", "", "comma-separated metric subset to render (default: all)")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	metricsAddr := flag.String("metrics", "", "serve live metric snapshots over HTTP on this address (e.g. 127.0.0.1:9090; /metrics Prometheus text, /snapshot JSON)")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the -metrics endpoint serving the final snapshot this long after the sweep completes")
+	tracePath := flag.String("trace", "", "stream a sampled sim-time JSONL event trace to this file")
+	traceSample := flag.Int("trace-sample", 1, "trace sampling: keep 1 in N events per event kind")
+	progressEvery := flag.Duration("progress-every", 5*time.Second, "period of the stderr progress ticker (done/total, rate, ETA); 0 disables")
+	checkpointObs := flag.Bool("checkpoint-obs", false, "embed per-scenario observability summaries in checkpoint records")
+	exectrace := flag.String("exectrace", "", "write a runtime execution trace of the sweep to this file")
 	checkpointPath := flag.String("checkpoint", "", "stream completed scenarios to this JSONL file")
 	resume := flag.Bool("resume", false, "restore completed scenarios from -checkpoint, run only the rest")
 	aggStr := flag.String("agg", "auto", "aggregation: exact|sketch|auto (auto stays exact until -agg-budget pooled samples, then cuts over to bounded quantile sketches)")
@@ -132,6 +159,38 @@ func main() {
 		}
 	}
 	memProfilePath = *memprofile
+	if *exectrace != "" {
+		f, err := os.Create(*exectrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			fatal(err)
+		}
+		execTraceFile = f
+	}
+
+	// Every run shares one registry: scenario simulators, the runner and
+	// the progress ticker all write to it, and -metrics serves it live.
+	reg := obs.New("sweep")
+	var simTrace *obs.Trace
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		simTrace = obs.NewTrace(f, *traceSample)
+		simTraceFile, simTraceFlush = f, simTrace
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: metrics listening on http://%s\n", ln.Addr())
+		srv := &http.Server{Handler: obs.Handler(reg)}
+		go srv.Serve(ln) //nolint:errcheck — dies with the process
+	}
 
 	var (
 		scenarios []sweep.Scenario
@@ -147,6 +206,7 @@ func main() {
 			isps: *ispList, policies: *policyList, flows: *flowsList,
 			capacity: *capStr, demand: *demandStr, size: *sizeStr,
 			lambda: *lambda, horizon: *horizon, seed: *seed, replicas: *replicas,
+			obs: reg, trace: simTrace,
 		})
 		label = fmt.Sprintf("flow capacity=%s demand=%s size=%s lambda=%g horizon=%s",
 			*capStr, *demandStr, *sizeStr, *lambda, *horizon)
@@ -164,6 +224,7 @@ func main() {
 			transfers: *transfersList, ingress: *ingressStr, egress: *egressStr,
 			chunkSize: *chunkSizeStr, chunks: *chunks, buffer: *bufferStr,
 			horizon: *horizon, seed: *seed, replicas: *replicas,
+			obs: reg, trace: simTrace,
 		})
 		label = fmt.Sprintf("chunk ingress=%s egress=%s chunksize=%s chunks=%d buffer=%s horizon=%s",
 			*ingressStr, *egressStr, *chunkSizeStr, *chunks, *bufferStr, *horizon)
@@ -229,7 +290,7 @@ func main() {
 		return
 	}
 
-	runner := &sweep.Runner{Workers: *workers, Shard: shard, Partition: part}
+	runner := &sweep.Runner{Workers: *workers, Shard: shard, Partition: part, Obs: reg}
 	if !*quiet {
 		runner.Progress = func(done, total int, r sweep.Result) {
 			status := "ok"
@@ -249,8 +310,10 @@ func main() {
 		if cp, err = sweep.NewCheckpoint(*checkpointPath, label); err != nil {
 			fatal(err)
 		}
+		cp.RecordObs = *checkpointObs
 		runner.Progress = cp.Progress(runner.Progress)
 	}
+	stopTicker := startProgressTicker(reg, *progressEvery, *quiet)
 
 	// Results fold into the accumulator as workers finish; only the
 	// failed ones come back as a slice, for reporting. A resume streams
@@ -267,6 +330,7 @@ func main() {
 	} else {
 		failed, err = runner.Accumulate(context.Background(), scenarios, acc)
 	}
+	stopTicker()
 	if err != nil {
 		fatal(err)
 	}
@@ -281,20 +345,82 @@ func main() {
 
 	render(*format, *metricsList, title(scenarios, *replicas, *seed, shardLabel, shard.Count, len(part.Select(scenarios))), acc)
 	stopProfiles()
+	if *metricsAddr != "" && *metricsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: metrics serving final snapshot for %s\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
+	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios failed\n", len(failed), len(part.Select(scenarios)))
 		os.Exit(1)
 	}
 }
 
-// memProfilePath, when set, receives a heap profile via stopProfiles on
-// every exit path.
-var memProfilePath string
+// startProgressTicker emits a periodic stderr progress line from the
+// runner's counters: scenarios done/total, completion rate and an ETA.
+// The returned stop function ends the ticker and waits it out, so no
+// line can interleave with the final table.
+func startProgressTicker(reg *obs.Registry, every time.Duration, quiet bool) func() {
+	if quiet || every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		start := time.Now()
+		completed := reg.Counter("sweep_scenarios_completed")
+		scheduled := reg.Counter("sweep_scenarios_scheduled")
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				d, total := completed.Value(), scheduled.Value()
+				if total == 0 {
+					continue
+				}
+				line := fmt.Sprintf("sweep: %d/%d scenarios", d, total)
+				if rate := float64(d) / time.Since(start).Seconds(); d > 0 && d < total {
+					eta := time.Duration(float64(total-d) / rate * float64(time.Second))
+					line += fmt.Sprintf(" (%.1f/s, ETA %s)", rate, eta.Round(time.Second))
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
 
-// stopProfiles flushes the profiling outputs; it must run before any
-// process exit (os.Exit skips defers).
+// memProfilePath, when set, receives a heap profile via stopProfiles on
+// every exit path. execTraceFile and the sim-time trace pair are flushed
+// the same way — os.Exit skips defers, so fatal() and the normal exit
+// both route through stopProfiles.
+var (
+	memProfilePath string
+	execTraceFile  *os.File
+	simTraceFile   *os.File
+	simTraceFlush  *obs.Trace
+)
+
+// stopProfiles flushes the profiling and tracing outputs; it must run
+// before any process exit (os.Exit skips defers).
 func stopProfiles() {
 	pprof.StopCPUProfile()
+	if execTraceFile != nil {
+		trace.Stop()
+		execTraceFile.Close()
+		execTraceFile = nil
+	}
+	if simTraceFlush != nil {
+		if err := simTraceFlush.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep: trace:", err)
+		}
+		simTraceFile.Close()
+		simTraceFlush, simTraceFile = nil, nil
+	}
 	if memProfilePath == "" {
 		return
 	}
@@ -362,6 +488,8 @@ type flowArgs struct {
 	horizon                time.Duration
 	seed                   int64
 	replicas               int
+	obs                    *obs.Registry
+	trace                  *obs.Trace
 }
 
 // flowScenarios expands the flow-level grid: the workload seed at each
@@ -408,14 +536,17 @@ func flowScenarios(a flowArgs) []sweep.Scenario {
 		func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
 			n, _ := strconv.Atoi(pt.Get("flows"))
 			spec := sweep.FlowSpec{
-				ISP:       topo.ISP(pt.Get("isp")),
-				Capacity:  capacity,
-				Policy:    sweep.MustParsePolicy(pt.Get("policy")),
-				Flows:     n,
-				Lambda:    a.lambda,
-				MeanSize:  meanSize,
-				DemandCap: demand,
-				Horizon:   a.horizon,
+				ISP:        topo.ISP(pt.Get("isp")),
+				Capacity:   capacity,
+				Policy:     sweep.MustParsePolicy(pt.Get("policy")),
+				Flows:      n,
+				Lambda:     a.lambda,
+				MeanSize:   meanSize,
+				DemandCap:  demand,
+				Horizon:    a.horizon,
+				Obs:        a.obs,
+				Trace:      a.trace,
+				TraceLabel: sweep.ScenarioName(pt, replica),
 			}
 			return spec.Run(seed)
 		})
@@ -429,6 +560,8 @@ type chunkArgs struct {
 	horizon                             time.Duration
 	seed                                int64
 	replicas                            int
+	obs                                 *obs.Registry
+	trace                               *obs.Trace
 }
 
 // chunkScenarios expands the chunk-level grid over the custody bottleneck
@@ -497,6 +630,9 @@ func chunkScenarios(a chunkArgs) []sweep.Scenario {
 				Transfers:    transfers,
 				Chunks:       a.chunks,
 				Horizon:      a.horizon,
+				Obs:          a.obs,
+				Trace:        a.trace,
+				TraceLabel:   sweep.ScenarioName(pt, replica),
 			}
 			return spec.Run(seed)
 		})

@@ -3,7 +3,11 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
@@ -378,3 +382,223 @@ func TestSweepResumeRequiresCheckpoint(t *testing.T) {
 		t.Error("-resume validation ran the sweep before failing")
 	}
 }
+
+// obsGridArgs is a small flow grid every observability e2e shares: fast
+// (sub-second per scenario) but real enough that all layer counters move.
+func obsGridArgs(extra ...string) []string {
+	base := []string{
+		"-isps", "VSNL (IN)",
+		"-policies", "sp,inrp",
+		"-flows", "30",
+		"-capacity", "100Mbps", "-demand", "50Mbps", "-size", "20MB",
+		"-horizon", "2s",
+		"-replicas", "1",
+		"-seed", "1",
+		"-workers", "1",
+	}
+	return append(base, extra...)
+}
+
+// TestSweepMetricsEndpoint boots a sweep with -metrics on an ephemeral
+// port, scrapes both exposures while the endpoint lingers, and asserts
+// well-formed Prometheus text and JSON with live counter values.
+func TestSweepMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep run")
+	}
+	bin := buildSweep(t)
+	cmd := exec.Command(bin, obsGridArgs("-q", "-metrics", "127.0.0.1:0", "-metrics-linger", "30s")...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill() //nolint:errcheck — lingering on purpose
+		cmd.Wait()         //nolint:errcheck
+	}()
+
+	// The address line is the first thing printed; the linger banner
+	// marks the sweep done, so every counter below has its final value.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := metricsAddrRE.FindStringSubmatch(line); m != nil {
+			addr = m[1]
+		}
+		if strings.Contains(line, "serving final snapshot") {
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("no metrics address line on stderr")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{
+		"# TYPE sweep_scenarios_completed counter",
+		"sweep_scenarios_completed 2",
+		"flowsim_flows_admitted",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+
+	var snap struct {
+		Registry string           `json:"registry"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(get("/snapshot")), &snap); err != nil {
+		t.Fatalf("/snapshot is not JSON: %v", err)
+	}
+	if snap.Registry != "sweep" {
+		t.Errorf("snapshot registry = %q, want sweep", snap.Registry)
+	}
+	if snap.Counters["sweep_scenarios_completed"] != 2 {
+		t.Errorf("snapshot completed = %d, want 2", snap.Counters["sweep_scenarios_completed"])
+	}
+}
+
+var metricsAddrRE = regexp.MustCompile(`metrics listening on (http://[^\s]+)`)
+
+// TestSweepSimTrace runs a sweep with -trace and checks the JSONL event
+// stream: every line parses, carries a scenario label and an event kind,
+// and both admit and finish events appear.
+func TestSweepSimTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep run")
+	}
+	bin := buildSweep(t)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	runSweep(t, bin, obsGridArgs("-q", "-trace", path, "-trace-sample", "2")...)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var ev struct {
+			Scenario string  `json:"scenario"`
+			T        float64 `json:"t"`
+			Event    string  `json:"event"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev.Scenario == "" || ev.Event == "" {
+			t.Fatalf("trace line missing scenario or event: %q", line)
+		}
+		kinds[ev.Event]++
+	}
+	for _, want := range []string{"flow_admit", "flow_finish"} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %s events (kinds: %v)", want, kinds)
+		}
+	}
+}
+
+// TestSweepExecTrace checks the runtime execution trace is written and
+// flushed on the normal exit path.
+func TestSweepExecTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep run")
+	}
+	bin := buildSweep(t)
+	path := filepath.Join(t.TempDir(), "exec.trace")
+	runSweep(t, bin, obsGridArgs("-q", "-exectrace", path)...)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Error("execution trace file is empty")
+	}
+}
+
+// TestSweepCheckpointObs: -checkpoint-obs embeds per-scenario summaries,
+// the file still resumes, and the default leaves records untouched.
+func TestSweepCheckpointObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep run")
+	}
+	bin := buildSweep(t)
+	dir := t.TempDir()
+
+	plain := filepath.Join(dir, "plain.jsonl")
+	runSweep(t, bin, obsGridArgs("-q", "-checkpoint", plain)...)
+	if data, _ := os.ReadFile(plain); bytes.Contains(data, []byte(`"obs"`)) {
+		t.Error("default checkpoint contains obs fields")
+	}
+
+	withObs := filepath.Join(dir, "obs.jsonl")
+	golden, _ := runSweep(t, bin, obsGridArgs("-q", "-checkpoint", withObs, "-checkpoint-obs")...)
+	data, err := os.ReadFile(withObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"elapsed_ms"`)) {
+		t.Errorf("-checkpoint-obs wrote no obs summaries:\n%s", data)
+	}
+	resumed, errOut := runSweep(t, bin, obsGridArgs("-q", "-checkpoint", withObs, "-resume")...)
+	if resumed != golden {
+		t.Error("resume from an obs-annotated checkpoint differs from its own run")
+	}
+	if !strings.Contains(errOut, "restored 2/2") {
+		t.Errorf("expected full restore from obs checkpoint, stderr:\n%s", errOut)
+	}
+}
+
+// TestSweepProgressTicker runs a multi-second sweep with a fast ticker
+// and expects periodic done/total lines on stderr; -q must silence them.
+func TestSweepProgressTicker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep run")
+	}
+	bin := buildSweep(t)
+	args := []string{
+		"-mode", "chunk",
+		"-transports", "inrpp,aimd",
+		"-anticipations", "512",
+		"-custody", "50MB",
+		"-transfers", "2",
+		"-ingress", "2Gbps", "-egress", "1Gbps",
+		"-chunksize", "10KB", "-chunks", "50000",
+		"-buffer", "1MB",
+		"-horizon", "8s",
+		"-replicas", "1",
+		"-seed", "7",
+		"-workers", "1",
+	}
+	_, errOut := runSweep(t, bin, append(args, "-progress-every", "100ms")...)
+	if !tickerRE.MatchString(errOut) {
+		t.Errorf("no progress ticker line on stderr:\n%s", errOut)
+	}
+	_, quietOut := runSweep(t, bin, append(args, "-progress-every", "100ms", "-q")...)
+	if tickerRE.MatchString(quietOut) {
+		t.Errorf("-q did not silence the ticker:\n%s", quietOut)
+	}
+}
+
+var tickerRE = regexp.MustCompile(`sweep: \d+/\d+ scenarios`)

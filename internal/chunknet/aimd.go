@@ -94,6 +94,7 @@ func (s *Sim) aimdRetransmit(f *flowState) {
 		return
 	}
 	s.rep.Retransmits++
+	s.mRetransmits.Inc()
 	s.sendChunkE2E(f, seq)
 	s.aimdResetRTO(f)
 }
@@ -110,6 +111,8 @@ func (s *Sim) aimdTimeout(f *flowState) {
 	if f.done {
 		return
 	}
+	s.mRTOFires.Inc()
+	s.emitTrace("rto_fire", f.tr.ID, "", f.lastCum+1, 0)
 	f.ssthresh = f.cwnd / 2
 	if f.ssthresh < 2 {
 		f.ssthresh = 2

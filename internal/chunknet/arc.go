@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/topo"
 	"repro/internal/units"
@@ -91,6 +92,13 @@ type arcState struct {
 	bpActive   bool                 // this arc has signalled back-pressure
 	bpNotified map[topo.NodeID]bool // neighbors notified
 	limited    bool                 // capRate reduced by an upstream notification
+
+	// Observability (set only when the sim is instrumented): name is the
+	// "from>to" arc label; the counters track serialised and detoured
+	// payload bytes. All stay nil on uninstrumented runs.
+	name         string
+	cTxBytes     *obs.Counter
+	cDetourBytes *obs.Counter
 }
 
 // newPacket takes a packet from the pool (all fields zero, rest empty
@@ -126,9 +134,12 @@ func (a *arcState) send(p *packet) bool {
 	a.seqNo++
 	if !a.store.Offer(key, p.size, now) {
 		a.sim.rep.ChunksDropped++
+		a.sim.mDropped.Inc()
+		a.sim.emitTrace("chunk_drop", p.flow, a.name, p.seq, 0)
 		return false
 	}
 	a.pktq = append(a.pktq, p)
+	a.sim.emitTrace("custody_enter", p.flow, a.name, p.seq, a.occupancyFraction())
 	a.sim.checkBackpressure(a, p)
 	a.kick()
 	return true
@@ -169,6 +180,7 @@ func (a *arcState) next() *packet {
 			a.pktHead = 0
 		}
 		a.maybeReleaseBackpressure()
+		a.sim.emitTrace("custody_exit", p.flow, a.name, p.seq, a.occupancyFraction())
 		return p
 	}
 	// Source scheduling: arcs leaving a sender pull the next chunk on
@@ -185,6 +197,7 @@ func (a *arcState) transmit(p *packet) {
 	}
 	tx := rate.TransmissionTime(p.size)
 	a.sentBits += float64(p.size) * 8
+	a.cTxBytes.Add(int64(p.size))
 	a.txPkt = p
 	a.sim.des.After(tx, a.txDoneFn)
 }
@@ -241,6 +254,8 @@ func (a *arcState) maybeReleaseBackpressure() {
 		return
 	}
 	a.bpActive = false
+	a.sim.mBpOff.Inc()
+	a.sim.emitTrace("backpressure_off", 0, a.name, 0, a.occupancyFraction())
 	for n := range a.bpNotified {
 		p := a.sim.newPacket()
 		p.kind = pktBpOff

@@ -49,6 +49,7 @@ func (s *Sim) arcOnRequest(p *packet) {
 	f := s.flows[p.flow]
 	if p.resend {
 		s.rep.Retransmits++
+		s.mRetransmits.Inc()
 	}
 	s.sendChunkE2E(f, p.seq)
 }
@@ -168,6 +169,8 @@ func (s *Sim) arcTimeout(f *flowState) {
 	if f.done || f.win.Done() {
 		return
 	}
+	s.mRTOFires.Inc()
+	s.emitTrace("rto_fire", f.tr.ID, "", f.win.Next(), 0)
 	if f.rtoScale < 16 {
 		f.rtoScale++
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -78,6 +79,18 @@ type Config struct {
 	// MinRTO floors ARC's adaptive stall timer (default 10ms). Setting it
 	// equal to RTO pins the timer to the fixed legacy behaviour.
 	MinRTO time.Duration
+
+	// Obs, when non-nil, binds the run's metrics (kernel event counts,
+	// per-arc bytes, custody occupancy samples, retransmits, RTO fires) to
+	// the registry. Metrics only observe the run — results are identical
+	// with or without them. Concurrent runs may share one registry;
+	// counters then aggregate across runs.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives sampled sim-time events (custody
+	// enter/exit, back-pressure transitions, detours, transfer
+	// completions). TraceLabel tags this run's events.
+	Trace      *obs.Trace
+	TraceLabel string
 }
 
 func (c *Config) applyDefaults() {
@@ -182,6 +195,20 @@ type Sim struct {
 	pathScratch route.Path
 
 	rep Report
+
+	// Observability instruments (nil when cfg.Obs is nil; every update is
+	// then a nil-safe no-op). Per-arc counters live on arcState.
+	mSent        *obs.Counter
+	mDelivered   *obs.Counter
+	mDropped     *obs.Counter
+	mDetoured    *obs.Counter
+	mRetransmits *obs.Counter
+	mRTOFires    *obs.Counter
+	mBpOn        *obs.Counter
+	mBpOff       *obs.Counter
+	mCompleted   *obs.Counter
+	sCustody     *obs.Sampler
+	gCustodyPeak *obs.Gauge
 }
 
 // nodeState is one router/host in the simulation.
@@ -271,7 +298,64 @@ func New(cfg Config) (*Sim, error) {
 			a.iface = core.NewInterface(a.baseRate, cfg.Iface)
 		}
 	}
+	s.instrument()
 	return s, nil
+}
+
+// instrument binds metrics and trace labels when the config enables
+// observability. Instruments and arc labels are created here, at
+// construction — never on a hot path — so an uninstrumented run skips
+// even the label formatting and its instrument fields stay nil (every
+// update below is then a nil-safe no-op).
+func (s *Sim) instrument() {
+	if s.cfg.Obs == nil && s.cfg.Trace == nil {
+		return
+	}
+	for _, a := range s.arcs {
+		if a != nil {
+			a.name = fmt.Sprintf("%d>%d", a.from, a.to)
+		}
+	}
+	reg := s.cfg.Obs
+	if reg == nil {
+		return
+	}
+	s.des.Instrument(reg)
+	s.mSent = reg.Counter("chunknet_chunks_sent")
+	s.mDelivered = reg.Counter("chunknet_chunks_delivered")
+	s.mDropped = reg.Counter("chunknet_chunks_dropped")
+	s.mDetoured = reg.Counter("chunknet_chunks_detoured")
+	s.mRetransmits = reg.Counter("chunknet_retransmits")
+	s.mRTOFires = reg.Counter("chunknet_rto_fires")
+	s.mBpOn = reg.Counter("chunknet_backpressure_on")
+	s.mBpOff = reg.Counter("chunknet_backpressure_off")
+	s.mCompleted = reg.Counter("chunknet_transfers_completed")
+	s.sCustody = reg.Sampler("chunknet_custody_used_bytes", 1024)
+	s.gCustodyPeak = reg.Gauge("chunknet_custody_peak_bytes")
+	for _, a := range s.arcs {
+		if a == nil {
+			continue
+		}
+		a.cTxBytes = reg.Counter(obs.Labeled("arc_tx_bytes", "arc", a.name))
+		a.cDetourBytes = reg.Counter(obs.Labeled("arc_detour_bytes", "arc", a.name))
+	}
+}
+
+// emitTrace writes one sampled sim-time trace event; a no-op without a
+// configured trace (the nil check is the only cost then).
+func (s *Sim) emitTrace(event string, flow int, arc string, seq int64, v float64) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace.Emit(obs.Event{
+		Scenario: s.cfg.TraceLabel,
+		T:        s.des.Now().Seconds(),
+		Event:    event,
+		Flow:     flow,
+		Arc:      arc,
+		Seq:      seq,
+		Value:    v,
+	})
 }
 
 // AddTransfer registers a transfer before Run. Transfers with unreachable
@@ -343,6 +427,28 @@ func (s *Sim) Run(until time.Duration) *Report {
 			}
 		}
 		s.des.After(s.cfg.Ti, tick)
+	}
+	// Custody-occupancy sampling at estimator cadence. The callback only
+	// reads store state, so the extra kernel events cannot change the
+	// simulation outcome (the golden-with-metrics tests pin this).
+	if s.sCustody != nil {
+		var sample func()
+		sample = func() {
+			var used int64
+			for _, a := range s.arcs {
+				if a != nil {
+					used += int64(a.store.Used())
+				}
+			}
+			s.sCustody.Sample(s.des.Now(), float64(used))
+			if used > s.gCustodyPeak.Value() {
+				s.gCustodyPeak.Set(used)
+			}
+			if s.des.Now() < until {
+				s.des.After(s.cfg.Ti, sample)
+			}
+		}
+		s.des.After(s.cfg.Ti, sample)
 	}
 	s.des.RunUntil(until)
 	s.finalize(until)

@@ -120,6 +120,9 @@ func (s *Sim) forwardData(p *packet, node topo.NodeID) {
 			p.rest = append(p.rest[:0], via, next)
 			p.rest = append(p.rest, s.pathScratch...)
 			a = s.arcFor(node, via)
+			s.mDetoured.Inc()
+			a.cDetourBytes.Add(int64(p.size))
+			s.emitTrace("detour", p.flow, a.name, p.seq, 0)
 		}
 	}
 	// send() reads prevHop as the upstream to back-pressure, so update it
@@ -190,6 +193,7 @@ func (s *Sim) deliver(p *packet) {
 		return // duplicate
 	}
 	s.rep.ChunksDelivered++
+	s.mDelivered.Inc()
 	// Track the incoming data rate for request pacing.
 	gap := (now - f.lastData).Seconds()
 	if f.lastData > 0 && gap > 0 {
@@ -206,6 +210,8 @@ func (s *Sim) deliver(p *packet) {
 	if f.win.Done() && !f.done {
 		f.done = true
 		s.rep.Completions[f.tr.ID] = now - f.tr.Start
+		s.mCompleted.Inc()
+		s.emitTrace("transfer_done", f.tr.ID, "", 0, (now - f.tr.Start).Seconds())
 	}
 }
 
@@ -335,6 +341,7 @@ func (s *Sim) senderNextSeq(f *flowState) (int64, bool) {
 		seq := f.resendQ[0]
 		f.resendQ = f.resendQ[1:]
 		s.rep.Retransmits++
+		s.mRetransmits.Inc()
 		return seq, true
 	}
 	if f.nextSend >= f.tr.Chunks || f.nextSend > f.highestReq {
@@ -353,6 +360,7 @@ func (s *Sim) senderNextSeq(f *flowState) (int64, bool) {
 
 func (s *Sim) makeDataPacket(f *flowState, seq int64) *packet {
 	s.rep.ChunksSent++
+	s.mSent.Inc()
 	p := s.newPacket()
 	p.kind = pktData
 	p.flow = f.tr.ID
@@ -384,6 +392,8 @@ func (s *Sim) checkBackpressure(a *arcState, p *packet) {
 	a.bpActive = true
 	a.bpNotified[up] = true
 	s.rep.BackpressureOn++
+	s.mBpOn.Inc()
+	s.emitTrace("backpressure_on", p.flow, a.name, p.seq, a.occupancyFraction())
 	// Ask the upstream for the store's drain rate: conservative, so the
 	// occupancy stops growing immediately. (CustodyTarget would allow the
 	// remaining custody headroom to keep absorbing, but the allowance is

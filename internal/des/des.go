@@ -9,7 +9,11 @@
 // fired and been recycled is a no-op, never a clobber of the new tenant.
 package des
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Simulator owns the virtual clock and the pending-event queue. The zero
 // value is ready to use.
@@ -19,10 +23,31 @@ type Simulator struct {
 	free   []*event
 	seq    uint64
 	stop   bool
+
+	// Observability instruments (nil when not instrumented; every update
+	// below is a nil-safe no-op then). Counters are updated on the
+	// scheduling paths; the heap-depth gauge tracks the raw heap length,
+	// cancelled events included, since that is what bounds memory.
+	mScheduled *obs.Counter
+	mFired     *obs.Counter
+	mPooled    *obs.Counter
+	mHeapDepth *obs.Gauge
 }
 
 // New returns a simulator with the clock at zero.
 func New() *Simulator { return &Simulator{} }
+
+// Instrument binds the simulator's kernel metrics to reg: counters
+// des_events_scheduled / des_events_fired / des_events_pooled and gauge
+// des_heap_depth. A nil registry leaves the simulator uninstrumented
+// (the default): the hot paths then pay one nil check per update and
+// allocate nothing. Metrics only observe — they never change scheduling.
+func (s *Simulator) Instrument(reg *obs.Registry) {
+	s.mScheduled = reg.Counter("des_events_scheduled")
+	s.mFired = reg.Counter("des_events_fired")
+	s.mPooled = reg.Counter("des_events_pooled")
+	s.mHeapDepth = reg.Gauge("des_heap_depth")
+}
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Duration { return s.now }
@@ -66,6 +91,8 @@ func (s *Simulator) recycle(ev *event) {
 	ev.fn = nil
 	ev.gen++
 	s.free = append(s.free, ev)
+	s.mPooled.Inc()
+	s.mHeapDepth.Set(int64(s.events.len()))
 }
 
 // At schedules fn at absolute time t. Events scheduled in the past fire at
@@ -77,6 +104,8 @@ func (s *Simulator) At(t time.Duration, fn func()) Timer {
 	}
 	ev := s.alloc(t, fn)
 	s.events.push(ev)
+	s.mScheduled.Inc()
+	s.mHeapDepth.Set(int64(s.events.len()))
 	return Timer{ev: ev, gen: ev.gen}
 }
 
@@ -99,6 +128,7 @@ func (s *Simulator) Step() bool {
 		// Recycle before firing: the callback frequently schedules a
 		// follow-up event, which can then reuse this slot immediately.
 		s.recycle(ev)
+		s.mFired.Inc()
 		fn()
 		return true
 	}

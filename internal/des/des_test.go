@@ -2,6 +2,8 @@ package des
 
 import (
 	"math/rand"
+
+	"repro/internal/obs"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -191,5 +193,60 @@ func TestHeapPropertyRandom(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestInstrument verifies the kernel metrics: scheduled/fired/pooled
+// counters and the heap-depth gauge, and that binding a registry does not
+// change execution.
+func TestInstrument(t *testing.T) {
+	reg := obs.New("des")
+	s := New()
+	s.Instrument(reg)
+	var fired []int
+	s.After(2*time.Second, func() { fired = append(fired, 2) })
+	s.After(1*time.Second, func() { fired = append(fired, 1) })
+	timer := s.After(3*time.Second, func() { fired = append(fired, 3) })
+	if got := reg.Gauge("des_heap_depth").Value(); got != 3 {
+		t.Errorf("heap depth = %d, want 3", got)
+	}
+	timer.Cancel()
+	s.Run()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("instrumented run fired %v, want [1 2]", fired)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["des_events_scheduled"]; got != 3 {
+		t.Errorf("scheduled = %d, want 3", got)
+	}
+	if got := snap.Counters["des_events_fired"]; got != 2 {
+		t.Errorf("fired = %d, want 2 (cancelled event must not count)", got)
+	}
+	if got := snap.Counters["des_events_pooled"]; got != 3 {
+		t.Errorf("pooled = %d, want 3 (fired and cancelled events recycle)", got)
+	}
+	if got := snap.Gauges["des_heap_depth"]; got != 0 {
+		t.Errorf("final heap depth = %d, want 0", got)
+	}
+}
+
+// TestInstrumentedScheduleAllocFree pins that an *enabled* registry keeps
+// the steady-state scheduling path allocation-free too: counter and gauge
+// updates are plain atomics.
+func TestInstrumentedScheduleAllocFree(t *testing.T) {
+	s := New()
+	s.Instrument(obs.New("des"))
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			s.After(time.Duration(i%7)*time.Millisecond, func() {})
+		}
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("instrumented scheduling allocates %.1f objects per run, want 0", allocs)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/chunknet"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/units"
@@ -49,6 +50,11 @@ type CustodyConfig struct {
 	// running — both the resume unit after a kill and the artifact a
 	// distributed run ships between hosts.
 	Checkpoint string
+	// Obs and Trace thread observability into every scenario (see
+	// sweep.ChunkSpec); each scenario traces under its canonical sweep
+	// name. Metrics never change the result.
+	Obs   *obs.Registry
+	Trace *obs.Trace
 }
 
 func (c *CustodyConfig) applyDefaults() {
@@ -127,7 +133,7 @@ type CustodyRun struct {
 // restarting.
 func Custody(cfg CustodyConfig) (*CustodyResult, error) {
 	cfg.applyDefaults()
-	aggs, failed, err := runExperiment(cfg.Workers, cfg.Shard, cfg.Checkpoint, custodyLabel(cfg), custodyScenarios(cfg))
+	aggs, failed, err := runExperiment(cfg.Workers, cfg.Shard, cfg.Obs, cfg.Checkpoint, custodyLabel(cfg), custodyScenarios(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +164,9 @@ func custodyScenarios(cfg CustodyConfig) []sweep.Scenario {
 	return grid.Expand(0, 1, func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
 		s := spec
 		s.Transport = sweep.MustParseTransport(pt.Get("transport"))
+		s.Obs = cfg.Obs
+		s.Trace = cfg.Trace
+		s.TraceLabel = sweep.ScenarioName(pt, replica)
 		return s.Run(seed)
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -20,12 +21,12 @@ import (
 // same guarantees as a CLI sweep: byte-identical aggregate output at any
 // worker count, across kill/resume, and — after Fig4Merge or CustodyMerge —
 // at any shard count.
-func runExperiment(workers int, shard sweep.Shard, checkpoint, label string, scenarios []sweep.Scenario) ([]sweep.Aggregate, []sweep.Result, error) {
+func runExperiment(workers int, shard sweep.Shard, reg *obs.Registry, checkpoint, label string, scenarios []sweep.Scenario) ([]sweep.Aggregate, []sweep.Result, error) {
 	if err := shard.Validate(); err != nil {
 		return nil, nil, err
 	}
 	acc := sweep.NewAccumulator(sweep.AccumulatorConfig{Mode: sweep.AggExact}, scenarios)
-	runner := &sweep.Runner{Workers: workers, Shard: shard}
+	runner := &sweep.Runner{Workers: workers, Shard: shard, Obs: reg}
 	var (
 		failed []sweep.Result
 		err    error

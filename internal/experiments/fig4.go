@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/flowsim"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -62,6 +63,12 @@ type Fig4Config struct {
 	// running — both the resume unit after a kill and the artifact a
 	// distributed run ships between hosts.
 	Checkpoint string
+	// Obs and Trace thread observability into every scenario (see
+	// sweep.FlowSpec); each scenario traces under its canonical sweep
+	// name. Metrics never change the figure: the golden report tests run
+	// the experiment instrumented and require byte-identical output.
+	Obs   *obs.Registry
+	Trace *obs.Trace
 }
 
 // DefaultFig4Config returns the configuration used for EXPERIMENTS.md.
@@ -129,7 +136,7 @@ func Fig4(cfg Fig4Config) ([]Fig4TopoResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	aggs, failed, err := runExperiment(cfg.Workers, cfg.Shard, cfg.Checkpoint, label, scenarios)
+	aggs, failed, err := runExperiment(cfg.Workers, cfg.Shard, cfg.Obs, cfg.Checkpoint, label, scenarios)
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +189,9 @@ func fig4Scenarios(cfg Fig4Config) ([]sweep.Scenario, string, error) {
 	scenarios := grid.Expand(0, cfg.Seeds, func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
 		spec := specs[topo.ISP(pt.Get("isp"))]
 		spec.Policy = sweep.MustParsePolicy(pt.Get("policy"))
+		spec.Obs = cfg.Obs
+		spec.Trace = cfg.Trace
+		spec.TraceLabel = sweep.ScenarioName(pt, replica)
 		return spec.Run(seed)
 	})
 	label := fmt.Sprintf("fig4 target=%d load=%g demand=%s size=%s horizon=%s capacity=%s",

@@ -3,11 +3,13 @@ package experiments
 import (
 	"bytes"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -25,15 +27,25 @@ import (
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite golden Fig4 report fixture")
 
-func TestGoldenFig4Report(t *testing.T) {
-	res, err := Fig4(Fig4Config{
+// goldenFig4Config is the reduced-scale Figure 4 run both golden tests
+// share; reg and tr optionally instrument it.
+func goldenFig4Config(reg *obs.Registry, tr *obs.Trace) Fig4Config {
+	return Fig4Config{
 		ISPs:            []topo.ISP{topo.Exodus},
 		TargetActive:    120,
 		DemandCap:       300 * units.Mbps,
 		UniformCapacity: 450 * units.Mbps,
 		Horizon:         8 * time.Second,
 		Seeds:           1,
-	})
+		Obs:             reg,
+		Trace:           tr,
+	}
+}
+
+// renderFig4 runs the golden config and renders both figure tables.
+func renderFig4(t *testing.T, cfg Fig4Config) []byte {
+	t.Helper()
+	res, err := Fig4(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,13 +56,18 @@ func TestGoldenFig4Report(t *testing.T) {
 	if err := Fig4bReport(res).Render(&buf); err != nil {
 		t.Fatal(err)
 	}
+	return buf.Bytes()
+}
+
+func TestGoldenFig4Report(t *testing.T) {
+	got := renderFig4(t, goldenFig4Config(nil, nil))
 
 	path := filepath.Join("testdata", "golden_fig4.txt")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		return
@@ -59,8 +76,35 @@ func TestGoldenFig4Report(t *testing.T) {
 	if err != nil {
 		t.Fatalf("missing golden fixture %s (regenerate with -update-golden): %v", path, err)
 	}
-	if !bytes.Equal(buf.Bytes(), want) {
+	if !bytes.Equal(got, want) {
 		t.Errorf("Fig4 report bytes differ from seed golden fixture\ngot:\n%s\nwant:\n%s",
-			buf.Bytes(), want)
+			got, want)
+	}
+}
+
+// TestGoldenFig4ReportWithObs re-runs the same reduced Figure 4 fully
+// instrumented (registry + full-rate trace) and requires the rendered
+// report to match the uninstrumented fixture byte-for-byte: metrics
+// observe an experiment, they never change its physics.
+func TestGoldenFig4ReportWithObs(t *testing.T) {
+	reg := obs.New("golden-fig4")
+	tr := obs.NewTrace(io.Discard, 1)
+	got := renderFig4(t, goldenFig4Config(reg, tr))
+
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_fig4.txt"))
+	if err != nil {
+		t.Fatalf("missing golden fixture (run TestGoldenFig4Report -update-golden first): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("instrumented Fig4 report bytes differ from golden fixture")
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"flowsim_flows_admitted", "flowsim_alloc_fills",
+		"sweep_scenarios_completed",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s stayed zero; instrumentation not threaded", name)
+		}
 	}
 }

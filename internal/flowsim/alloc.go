@@ -19,6 +19,7 @@ const optimisticOverflow = 1e15 // 1 Pbps
 // scratch, valid until the next allocate call. The whole path is
 // allocation-free in steady state.
 func (r *runner) allocate() (rates []float64, hopsExp []float64) {
+	r.mAllocFills.Inc()
 	n := len(r.active)
 	rates = growFloats(&r.ratesBuf, n)
 	hopsExp = growFloats(&r.hopsBuf, n)
@@ -211,6 +212,7 @@ func (r *runner) enforceFeasibility(classRate, primaryLoad []float64) {
 			return
 		}
 		r.res.Backpressured++
+		r.mBackpressure.Inc()
 		if primaryLoad[worst] <= 0 {
 			// Excess comes entirely from landed detours: donors were
 			// over-granted. Shrink the grants landing on this arc

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -78,6 +79,16 @@ type Config struct {
 	// time-averaged fraction of aggregate demand the network carried —
 	// the "network throughput" metric of Fig. 4a.
 	DemandCap units.BitRate
+
+	// Obs, when non-nil, binds the run's metrics (allocator fills,
+	// back-pressure events, admit/finish counts, active-flow samples) to
+	// the registry. Metrics only observe the run — results are identical
+	// with or without them.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives flow admit/finish events in sim time;
+	// TraceLabel tags this run's events.
+	Trace      *obs.Trace
+	TraceLabel string
 }
 
 // Result aggregates a run's outcome.
@@ -199,6 +210,16 @@ type runner struct {
 
 	satBits    float64 // Σ allocated rate × dt (demand-capped runs)
 	demandBits float64 // Σ demanded rate × dt
+
+	// Observability instruments (nil without Config.Obs; updates are then
+	// nil-safe no-ops costing one nil check).
+	mAllocFills   *obs.Counter
+	mBackpressure *obs.Counter
+	mAdmitted     *obs.Counter
+	mFinished     *obs.Counter
+	gActive       *obs.Gauge
+	gClasses      *obs.Gauge
+	sActive       *obs.Sampler
 }
 
 // arcIndex maps a directed arc to its dense index (2×link + direction).
@@ -249,6 +270,30 @@ func (r *runner) init() {
 		return res
 	})
 	r.res.Policy = r.cfg.Policy
+	if reg := r.cfg.Obs; reg != nil {
+		r.mAllocFills = reg.Counter("flowsim_alloc_fills")
+		r.mBackpressure = reg.Counter("flowsim_backpressure_events")
+		r.mAdmitted = reg.Counter("flowsim_flows_admitted")
+		r.mFinished = reg.Counter("flowsim_flows_finished")
+		r.gActive = reg.Gauge("flowsim_flows_active")
+		r.gClasses = reg.Gauge("flowsim_flow_classes")
+		r.sActive = reg.Sampler("flowsim_flows_active_series", 1024)
+	}
+}
+
+// emitTrace writes one sim-time trace event; a no-op without a configured
+// trace.
+func (r *runner) emitTrace(event string, flow int, now, v float64) {
+	if r.cfg.Trace == nil {
+		return
+	}
+	r.cfg.Trace.Emit(obs.Event{
+		Scenario: r.cfg.TraceLabel,
+		T:        now,
+		Event:    event,
+		Flow:     flow,
+		Value:    v,
+	})
 }
 
 // pathFor routes a newly arrived flow according to the policy.
@@ -299,6 +344,10 @@ func (r *runner) admit(f workload.Flow, now float64) error {
 	})
 	r.res.Offered += f.Size
 	r.res.Total++
+	r.mAdmitted.Inc()
+	r.gActive.Set(int64(len(r.active)))
+	r.gClasses.Set(int64(len(r.classes)))
+	r.emitTrace("flow_admit", f.ID, now, f.Size.Bits())
 	return nil
 }
 
@@ -383,6 +432,10 @@ func (r *runner) run() (*Result, error) {
 			kept = append(kept, f)
 		}
 		r.active = kept
+		r.gActive.Set(int64(len(r.active)))
+		if r.sActive != nil {
+			r.sActive.Sample(time.Duration(now*float64(time.Second)), float64(len(r.active)))
+		}
 
 		// Arrivals at the new time.
 		for next < len(flows) && flows[next].Arrival.Seconds() <= now+1e-12 {
@@ -410,6 +463,8 @@ func (r *runner) finish(f *flowState, now float64) {
 		fct = 1e-9
 	}
 	r.res.FCTSeconds.Add(fct)
+	r.mFinished.Inc()
+	r.emitTrace("flow_finish", f.id, now, fct)
 	r.res.MeanRates = append(r.res.MeanRates, f.sizeBits/fct)
 	if f.hops > 0 && f.delivered > 0 {
 		r.res.Stretch = append(r.res.Stretch, f.hopBits/(f.delivered*f.hops))

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WriteJSON serialises the snapshot as indented JSON. Map keys render in
+// sorted order (encoding/json sorts them), so output is deterministic for
+// a given snapshot.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as their sample lines,
+// histograms as cumulative _bucket/_sum/_count series, samplers as a
+// gauge carrying their most recent value. Instrument names created via
+// Labeled keep their label block; base names are sanitised to the
+// Prometheus charset. Output is sorted by name, so it is deterministic
+// for a given snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := &errWriter{w: w}
+	emit := func(kind string, names []string, value func(string) string) {
+		lastBase := ""
+		for _, n := range names {
+			base, labels := splitLabels(n)
+			base = sanitizeName(base)
+			if base != lastBase {
+				fmt.Fprintf(bw, "# TYPE %s %s\n", base, kind)
+				lastBase = base
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", base, labels, value(n))
+		}
+	}
+	emit("counter", sortedKeys(s.Counters), func(n string) string {
+		return fmt.Sprintf("%d", s.Counters[n])
+	})
+	emit("gauge", sortedKeys(s.Gauges), func(n string) string {
+		return fmt.Sprintf("%d", s.Gauges[n])
+	})
+	for _, n := range sortedKeys(s.Histograms) {
+		h := s.Histograms[n]
+		base, labels := splitLabels(n)
+		base = sanitizeName(base)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", base)
+		cum := int64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", base, mergeLabels(labels, "le", le), cum)
+		}
+		fmt.Fprintf(bw, "%s_sum%s %s\n", base, labels, formatFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count%s %d\n", base, labels, h.Count)
+	}
+	lastBase := ""
+	for _, n := range sortedKeys(s.Series) {
+		pts := s.Series[n]
+		if len(pts) == 0 {
+			continue
+		}
+		base, labels := splitLabels(n)
+		base = sanitizeName(base)
+		if base != lastBase {
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", base)
+			lastBase = base
+		}
+		fmt.Fprintf(bw, "%s%s %s\n", base, labels, formatFloat(pts[len(pts)-1].V))
+	}
+	return bw.err
+}
+
+// Handler returns an HTTP handler exposing live snapshots of the
+// registry: /metrics serves the Prometheus text format, /snapshot the
+// full JSON snapshot (including sampler timeseries), / a plain index.
+// Safe while the registry keeps updating.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Snapshot().WritePrometheus(w) //nolint:errcheck — client gone
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.Snapshot().WriteJSON(w) //nolint:errcheck — client gone
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "obs: /metrics (Prometheus text), /snapshot (JSON)\n")
+	})
+	return mux
+}
+
+// splitLabels separates a Labeled identity into its base name and label
+// block (label block empty when the name carries none).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// mergeLabels appends one extra label pair to an existing label block.
+func mergeLabels(labels, key, value string) string {
+	extra := key + `="` + value + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// sanitizeName maps a base name onto the Prometheus metric-name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the shortest round-trippable way.
+func formatFloat(v float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}
+
+// errWriter remembers the first write error so render loops stay linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets defined at creation.
+// Observations and snapshots are lock-free; all methods are nil-safe.
+type Histogram struct {
+	// bounds are the ascending inclusive upper bounds; observations above
+	// the last bound land in the implicit +Inf bucket counts[len(bounds)].
+	bounds []float64
+	counts []atomic.Int64
+	total  atomic.Int64
+	// sumBits is the float64 sum of observations, CAS-updated.
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra entry for
+	// the +Inf bucket. Counts are per bucket, not cumulative.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,250 @@
+// Package obs is the simulation-wide observability layer: an
+// allocation-conscious registry of atomic counters, gauges, fixed-bucket
+// histograms and ring-buffer sim-time samplers, with cheap point-in-time
+// snapshots rendered as JSON or Prometheus text format, and a JSONL
+// sim-time event trace for post-hoc timeline analysis.
+//
+// The design contract is that a disabled registry costs (almost) nothing
+// on the simulation hot paths: every instrument method is safe on a nil
+// receiver, and a nil *Registry hands out nil instruments, so an
+// uninstrumented run pays one nil check per update and performs zero
+// heap allocation — the property the allocs/op CI gate enforces on the
+// gated benchmarks. Instruments are created at simulator construction,
+// never on a hot path.
+//
+// Metrics observe the simulation; they never influence it. Instrument
+// updates read and count but do not feed back into any simulator
+// decision, so enabling a registry (or a trace) cannot change simulation
+// results — the golden-fixture tests run the simulators with and without
+// instrumentation and require byte-identical output.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// safe on a nil receiver (no-ops), so hot paths update unconditionally
+// and pay only a nil check when observability is disabled.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. All methods are nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named collection of instruments. The zero value is not
+// useful; use New. A nil *Registry is the disabled registry: it hands out
+// nil instruments and snapshots empty.
+//
+// Instrument creation (Counter/Gauge/Histogram/Sampler) is create-or-get
+// by name and safe for concurrent use, so concurrently constructed
+// simulators sharing one registry share the instruments their names
+// collide on — counters then aggregate across simulators, which is the
+// intended live-sweep view. Updates are lock-free atomics; Snapshot takes
+// the registry lock only to copy the instrument tables.
+type Registry struct {
+	name string
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	samplers map[string]*Sampler
+}
+
+// New returns an empty registry with the given name (shown in snapshots).
+func New(name string) *Registry {
+	return &Registry{
+		name:     name,
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		samplers: map[string]*Sampler{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (disabled) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (disabled) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with
+// the given ascending upper bounds on first use (later calls reuse the
+// existing buckets whatever bounds they pass). A nil registry returns a
+// nil (disabled) histogram.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Sampler returns the named ring-buffer sim-time sampler, creating it
+// with the given capacity on first use (min 1; later calls reuse the
+// existing ring whatever capacity they pass). A nil registry returns a
+// nil (disabled) sampler.
+func (r *Registry) Sampler(name string, capacity int) *Sampler {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.samplers[name]
+	if !ok {
+		s = newSampler(capacity)
+		r.samplers[name] = s
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry's instruments, safe to
+// render or serialise while the registry keeps updating.
+type Snapshot struct {
+	Registry string `json:"registry,omitempty"`
+	// TakenUnixNano is the wall-clock capture time.
+	TakenUnixNano int64                        `json:"taken_unix_nano"`
+	Counters      map[string]int64             `json:"counters,omitempty"`
+	Gauges        map[string]int64             `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Series holds each sampler's retained (sim-time, value) points in
+	// chronological order.
+	Series map[string][]SamplePoint `json:"series,omitempty"`
+}
+
+// Snapshot captures the current value of every instrument. A nil registry
+// snapshots empty. The copy is consistent per instrument (each value is
+// one atomic read), not across instruments — fine for progress views.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{TakenUnixNano: time.Now().UnixNano()}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap.Registry = r.name
+	snap.Counters = make(map[string]int64, len(r.counters))
+	for n, c := range r.counters {
+		snap.Counters[n] = c.Value()
+	}
+	snap.Gauges = make(map[string]int64, len(r.gauges))
+	for n, g := range r.gauges {
+		snap.Gauges[n] = g.Value()
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			snap.Histograms[n] = h.snapshot()
+		}
+	}
+	if len(r.samplers) > 0 {
+		snap.Series = make(map[string][]SamplePoint, len(r.samplers))
+		for n, s := range r.samplers {
+			snap.Series[n] = s.Points()
+		}
+	}
+	return snap
+}
+
+// Labeled renders an instrument identity with Prometheus-style labels:
+// Labeled("arc_tx_bytes", "arc", "0>1") → `arc_tx_bytes{arc="0>1"}`.
+// Odd trailing keys are dropped. The label block is parsed back out by
+// the Prometheus renderer, so labelled instruments export correctly.
+func Labeled(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	out := name + "{"
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			out += ","
+		}
+		out += kv[i] + `="` + kv[i+1] + `"`
+	}
+	return out + "}"
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,374 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New("test")
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("events") != c {
+		t.Fatal("Counter is not create-or-get")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if r.Gauge("depth") != g {
+		t.Fatal("Gauge is not create-or-get")
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", 1, 2)
+	s := r.Sampler("x", 8)
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	s.Sample(time.Second, 1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || s.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if pts := s.Points(); pts != nil {
+		t.Fatalf("nil sampler Points = %v, want nil", pts)
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatal("nil sampler Last must report no sample")
+	}
+	snap := r.Snapshot()
+	if snap.Registry != "" || len(snap.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+	var tr *Trace
+	tr.Emit(Event{Event: "x"})
+	tr.EmitAt(time.Second, Event{Event: "x"})
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("nil trace Flush: %v", err)
+	}
+}
+
+// TestDisabledInstrumentsAllocateNothing pins the zero-alloc contract the
+// CI benchmark gate relies on: updating nil instruments must not allocate.
+func TestDisabledInstrumentsAllocateNothing(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", 1)
+	s := r.Sampler("s", 4)
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(1)
+		s.Sample(0, 1)
+		if tr != nil {
+			tr.Emit(Event{Event: "x"})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instruments allocate %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestEnabledCounterAllocatesNothing(t *testing.T) {
+	r := New("bench")
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled counter/gauge allocate %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New("test")
+	h := r.Histogram("lat", 1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got, want := h.Sum(), 0.5+1+5+10+99+1000; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	snap := h.snapshot()
+	wantCounts := []int64{2, 2, 1, 1} // ≤1, ≤10, ≤100, +Inf
+	if len(snap.Counts) != len(wantCounts) {
+		t.Fatalf("bucket count = %d, want %d", len(snap.Counts), len(wantCounts))
+	}
+	for i, w := range wantCounts {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (%v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+}
+
+func TestSamplerRingEviction(t *testing.T) {
+	r := New("test")
+	s := r.Sampler("occ", 3)
+	for i := 1; i <= 5; i++ {
+		s.Sample(time.Duration(i)*time.Second, float64(i))
+	}
+	if got := s.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("retained %d points, want 3", len(pts))
+	}
+	for i, want := range []float64{3, 4, 5} {
+		if pts[i].V != want || pts[i].T != want {
+			t.Fatalf("pts[%d] = %+v, want T=V=%v", i, pts[i], want)
+		}
+	}
+	last, ok := s.Last()
+	if !ok || last.V != 5 {
+		t.Fatalf("Last = %+v/%v, want V=5", last, ok)
+	}
+}
+
+func TestSnapshotAndJSONRoundTrip(t *testing.T) {
+	r := New("sim")
+	r.Counter("des_events_fired").Add(42)
+	r.Gauge("des_heap_depth").Set(3)
+	r.Histogram("chunk_latency_s", 0.1, 1).Observe(0.5)
+	r.Sampler("custody_occupancy", 4).Sample(2*time.Second, 0.25)
+	snap := r.Snapshot()
+	if snap.Registry != "sim" || snap.TakenUnixNano == 0 {
+		t.Fatalf("bad snapshot header: %+v", snap)
+	}
+	if snap.Counters["des_events_fired"] != 42 || snap.Gauges["des_heap_depth"] != 3 {
+		t.Fatalf("bad snapshot values: %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Counters["des_events_fired"] != 42 {
+		t.Fatalf("round-trip lost counter: %+v", back)
+	}
+	if got := back.Series["custody_occupancy"]; len(got) != 1 || got[0].T != 2 || got[0].V != 0.25 {
+		t.Fatalf("round-trip series = %+v", got)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("arc_tx_bytes", "arc", "0>1"); got != `arc_tx_bytes{arc="0>1"}` {
+		t.Fatalf("Labeled = %q", got)
+	}
+	if got := Labeled("x", "a", "1", "b", "2"); got != `x{a="1",b="2"}` {
+		t.Fatalf("Labeled = %q", got)
+	}
+	if got := Labeled("bare"); got != "bare" {
+		t.Fatalf("Labeled = %q", got)
+	}
+	if got := Labeled("odd", "k"); got != "odd" {
+		t.Fatalf("Labeled with odd kv = %q", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New("sim")
+	r.Counter(Labeled("arc_tx_bytes", "arc", "0>1")).Add(1500)
+	r.Counter(Labeled("arc_tx_bytes", "arc", "1>2")).Add(700)
+	r.Counter("des_events_fired").Add(9)
+	r.Gauge("flows_active").Set(4)
+	h := r.Histogram("chunk_latency_s", 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Sampler("custody_occupancy", 4).Sample(time.Second, 0.75)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE arc_tx_bytes counter\n",
+		"arc_tx_bytes{arc=\"0>1\"} 1500\n",
+		"arc_tx_bytes{arc=\"1>2\"} 700\n",
+		"des_events_fired 9\n",
+		"# TYPE flows_active gauge\n",
+		"flows_active 4\n",
+		"# TYPE chunk_latency_s histogram\n",
+		"chunk_latency_s_bucket{le=\"0.1\"} 1\n",
+		"chunk_latency_s_bucket{le=\"1\"} 2\n",
+		"chunk_latency_s_bucket{le=\"+Inf\"} 3\n",
+		"chunk_latency_s_sum 5.55\n",
+		"chunk_latency_s_count 3\n",
+		"# TYPE custody_occupancy gauge\n",
+		"custody_occupancy 0.75\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// The two labelled series must share a single TYPE line.
+	if strings.Count(out, "# TYPE arc_tx_bytes counter") != 1 {
+		t.Fatalf("duplicate TYPE lines for labelled metric:\n%s", out)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"ok_name":   "ok_name",
+		"9starts":   "_starts",
+		"has space": "has_space",
+		"":          "_",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Fatalf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := New("sim")
+	r.Counter("sweep_scenarios_completed").Add(12)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), buf.String()
+	}
+
+	code, ctype, body := get("/metrics")
+	if code != 200 || !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics: code=%d ctype=%q", code, ctype)
+	}
+	if !strings.Contains(body, "sweep_scenarios_completed 12") {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+	code, ctype, body = get("/snapshot")
+	if code != 200 || ctype != "application/json" {
+		t.Fatalf("/snapshot: code=%d ctype=%q", code, ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["sweep_scenarios_completed"] != 12 {
+		t.Fatalf("/snapshot counter = %+v", snap.Counters)
+	}
+	if code, _, _ := get("/nope"); code != 404 {
+		t.Fatalf("/nope: code=%d, want 404", code)
+	}
+}
+
+func TestTraceSamplingAndFields(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf, 2)
+	for i := 0; i < 5; i++ {
+		tr.EmitAt(time.Duration(i)*time.Second, Event{Event: "chunk_sent", Flow: 1, Seq: int64(i)})
+	}
+	tr.Emit(Event{Scenario: "s1", T: 9, Event: "flow_finish", Flow: 2, Value: 1.5})
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// chunk_sent sampled every 2nd (seq 0, 2, 4) + flow_finish (first of kind).
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[3]), &ev); err != nil {
+		t.Fatalf("bad JSONL line: %v", err)
+	}
+	if ev.Scenario != "s1" || ev.Event != "flow_finish" || ev.Flow != 2 || ev.Value != 1.5 || ev.T != 9 {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Omitted optional fields keep lines compact.
+	if strings.Contains(lines[3], `"arc"`) || strings.Contains(lines[3], `"seq"`) {
+		t.Fatalf("zero fields not omitted: %s", lines[3])
+	}
+}
+
+// TestRegistryConcurrency hammers snapshots against updates and instrument
+// creation; run under -race it proves the registry's concurrency contract.
+func TestRegistryConcurrency(t *testing.T) {
+	r := New("race")
+	tr := NewTrace(&bytes.Buffer{}, 4)
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := []string{"a", "b", "c", "d"}[w%4]
+			c := r.Counter("shared")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				r.Counter(name).Add(2)
+				r.Gauge(name).Set(int64(i))
+				r.Histogram("h", 1, 2, 4).Observe(float64(i % 8))
+				r.Sampler("s", 16).Sample(time.Duration(i), float64(i))
+				tr.Emit(Event{Event: name, Seq: int64(i)})
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		var buf bytes.Buffer
+		if err := snap.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus under load: %v", err)
+		}
+		if err := snap.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON under load: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("trace flush: %v", err)
+	}
+	snap := r.Snapshot()
+	total := snap.Counters["a"] + snap.Counters["b"] + snap.Counters["c"] + snap.Counters["d"]
+	if total != 2*snap.Counters["shared"] {
+		t.Fatalf("counter totals diverged: per-name %d vs shared %d", total, snap.Counters["shared"])
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SamplePoint is one retained (sim-time, value) sample.
+type SamplePoint struct {
+	// T is the simulation time of the sample, in seconds.
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Sampler retains a bounded ring of (sim-time, value) samples — the
+// cheap way to keep an occupancy or population timeseries without
+// unbounded growth: once full, the oldest sample is overwritten. Sample
+// takes a mutex (samplers fire at coarse cadence — estimator ticks,
+// event-loop iterations — not per packet); all methods are nil-safe.
+type Sampler struct {
+	mu    sync.Mutex
+	ring  []SamplePoint
+	head  int // next write position
+	count int64
+}
+
+func newSampler(capacity int) *Sampler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Sampler{ring: make([]SamplePoint, 0, capacity)}
+}
+
+// Sample records value v at simulation time at, evicting the oldest
+// retained sample when the ring is full.
+func (s *Sampler) Sample(at time.Duration, v float64) {
+	if s == nil {
+		return
+	}
+	p := SamplePoint{T: at.Seconds(), V: v}
+	s.mu.Lock()
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, p)
+	} else {
+		s.ring[s.head] = p
+		s.head = (s.head + 1) % len(s.ring)
+	}
+	s.count++
+	s.mu.Unlock()
+}
+
+// Count returns the total number of samples ever recorded (0 on nil).
+func (s *Sampler) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Points returns the retained samples oldest-first (nil on a nil
+// receiver). The returned slice is a copy.
+func (s *Sampler) Points() []SamplePoint {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SamplePoint, 0, len(s.ring))
+	out = append(out, s.ring[s.head:]...)
+	out = append(out, s.ring[:s.head]...)
+	return out
+}
+
+// Last returns the most recent sample and whether one exists.
+func (s *Sampler) Last() (SamplePoint, bool) {
+	if s == nil {
+		return SamplePoint{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) == 0 {
+		return SamplePoint{}, false
+	}
+	i := s.head - 1
+	if i < 0 {
+		i = len(s.ring) - 1
+	}
+	return s.ring[i], true
+}

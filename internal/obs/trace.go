@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one sim-time trace event: a JSONL record on the trace stream.
+// The typed shape (rather than a map) keeps emission cheap and the file
+// format stable. Zero-valued optional fields are omitted.
+type Event struct {
+	// Scenario tags the emitting run (the sweep scenario name) so traces
+	// from concurrent scenarios can be demultiplexed.
+	Scenario string `json:"scenario,omitempty"`
+	// T is the simulation time of the event in seconds.
+	T float64 `json:"t"`
+	// Event names the event kind (e.g. "custody_enter", "flow_admit",
+	// "backpressure_on").
+	Event string  `json:"event"`
+	Flow  int     `json:"flow,omitempty"`
+	Arc   string  `json:"arc,omitempty"`
+	Seq   int64   `json:"seq,omitempty"`
+	Value float64 `json:"value,omitempty"`
+}
+
+// Trace writes sampled sim-time events as JSON lines. Emission is
+// serialised by a mutex and buffered; Flush drains the buffer and
+// reports the first write error. All methods are nil-safe, so call
+// sites may emit unconditionally — but to keep the disabled path free
+// of argument construction, hot paths should guard with a nil check.
+//
+// Sampling: with every > 1, only each every-th event of each event kind
+// is written (the first of each kind always is), bounding trace volume
+// on chunk-level hot paths while keeping rare events (state changes,
+// completions) intact when they use their own kind.
+type Trace struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	every  int64
+	counts map[string]int64
+	err    error
+}
+
+// NewTrace returns a trace writing to w, keeping one event in every
+// `every` per event kind (every ≤ 1 keeps all).
+func NewTrace(w io.Writer, every int) *Trace {
+	bw := bufio.NewWriter(w)
+	t := &Trace{bw: bw, enc: json.NewEncoder(bw), every: int64(every), counts: map[string]int64{}}
+	if t.every < 1 {
+		t.every = 1
+	}
+	return t
+}
+
+// Emit records one event (subject to sampling). Nil-safe.
+func (t *Trace) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.counts[ev.Event]
+	t.counts[ev.Event] = n + 1
+	if n%t.every != 0 {
+		return
+	}
+	if t.err == nil {
+		t.err = t.enc.Encode(ev)
+	}
+}
+
+// EmitAt is a convenience wrapper stamping the event's sim time.
+func (t *Trace) EmitAt(at time.Duration, ev Event) {
+	if t == nil {
+		return
+	}
+	ev.T = at.Seconds()
+	t.Emit(ev)
+}
+
+// Flush drains buffered events and returns the first error seen.
+func (t *Trace) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

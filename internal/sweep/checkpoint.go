@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // ErrNotRun marks a scenario with no checkpointed result yet. Results
@@ -32,6 +33,19 @@ type CheckpointRecord struct {
 	Seed    int64                `json:"seed"`
 	Values  map[string]float64   `json:"values,omitempty"`
 	Samples map[string][]float64 `json:"samples,omitempty"`
+	// Obs optionally embeds a per-scenario observability summary (enable
+	// with Checkpoint.RecordObs). The field is forward- and backward-
+	// compatible: readers that predate it ignore it, files without it load
+	// unchanged, and restore paths never depend on it.
+	Obs *RunObs `json:"obs,omitempty"`
+}
+
+// RunObs is the per-scenario observability summary a checkpoint can carry:
+// enough to spot stragglers and cost imbalance when re-reading a sweep,
+// without inflating records with full metric dumps.
+type RunObs struct {
+	// ElapsedMS is the scenario's wall-clock execution time.
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // checkpointHeader is the optional first line of a checkpoint file: a
@@ -50,6 +64,11 @@ type checkpointHeader struct {
 // can at worst tear the final line; LoadCheckpoint tolerates torn lines.
 // Methods are safe for concurrent use from the runner's workers.
 type Checkpoint struct {
+	// RecordObs, when set before recording, embeds a RunObs summary
+	// (elapsed wall time) in every record. Off by default: files stay
+	// byte-identical to pre-observability checkpoints unless asked.
+	RecordObs bool
+
 	mu   sync.Mutex
 	f    *os.File
 	err  error // first write error, surfaced by Close
@@ -146,14 +165,18 @@ func (c *Checkpoint) Record(r Result) error {
 	if r.Err != nil {
 		return nil
 	}
-	line, err := json.Marshal(CheckpointRecord{
+	rec := CheckpointRecord{
 		Name:    r.Name,
 		Point:   r.Point,
 		Replica: r.Replica,
 		Seed:    r.Seed,
 		Values:  r.Metrics.Values,
 		Samples: r.Metrics.Samples,
-	})
+	}
+	if c.RecordObs {
+		rec.Obs = &RunObs{ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond)}
+	}
+	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("sweep: marshal checkpoint record: %w", err)
 	}

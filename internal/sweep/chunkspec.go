@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/chunknet"
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -55,6 +56,14 @@ type ChunkSpec struct {
 	// RTO is the AIMD/ARC retransmission timeout (0 keeps the chunknet
 	// default).
 	RTO time.Duration
+
+	// Obs, Trace and TraceLabel thread observability into the simulator
+	// (see chunknet.Config). All optional; scenarios expanded from one
+	// grid typically share a single registry and trace, with TraceLabel
+	// set to the scenario name. Metrics never change simulation results.
+	Obs        *obs.Registry
+	Trace      *obs.Trace
+	TraceLabel string
 }
 
 func (s *ChunkSpec) applyDefaults() {
@@ -114,6 +123,9 @@ func (s ChunkSpec) Simulate(seed int64) (*chunknet.Report, error) {
 		Anticipation: s.Anticipation,
 		Ti:           s.Ti,
 		RTO:          s.RTO,
+		Obs:          s.Obs,
+		Trace:        s.Trace,
+		TraceLabel:   s.TraceLabel,
 	}
 	if s.Transport == chunknet.INRPP {
 		cfg.CustodyBytes = s.Custody

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -26,8 +28,10 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite golden sweep output fixtures")
 
 // goldenFlowScenarios is a reduced Figure 4-shaped grid: every policy over
-// identical workloads at two loads and two replicas.
-func goldenFlowScenarios() []Scenario {
+// identical workloads at two loads and two replicas. reg and tr, when
+// non-nil, instrument every scenario — the golden-with-obs tests use them
+// to prove instrumentation cannot move the fixture bytes.
+func goldenFlowScenarios(reg *obs.Registry, tr *obs.Trace) []Scenario {
 	grid := NewGrid().
 		Axis("isp", string(topo.Exodus)).
 		Axis("flows", "30", "60").
@@ -39,21 +43,25 @@ func goldenFlowScenarios() []Scenario {
 			n = 60
 		}
 		spec := FlowSpec{
-			ISP:       topo.Exodus,
-			Capacity:  450 * units.Mbps,
-			Policy:    MustParsePolicy(pt.Get("policy")),
-			Flows:     n,
-			MeanSize:  50 * units.MB,
-			DemandCap: 300 * units.Mbps,
-			Horizon:   4 * time.Second,
+			ISP:        topo.Exodus,
+			Capacity:   450 * units.Mbps,
+			Policy:     MustParsePolicy(pt.Get("policy")),
+			Flows:      n,
+			MeanSize:   50 * units.MB,
+			DemandCap:  300 * units.Mbps,
+			Horizon:    4 * time.Second,
+			Obs:        reg,
+			Trace:      tr,
+			TraceLabel: ScenarioName(pt, replica),
 		}
 		return spec.Run(seed)
 	})
 }
 
 // goldenChunkScenarios is a reduced custody-chain grid: all three
-// transports at two load levels.
-func goldenChunkScenarios() []Scenario {
+// transports at two load levels. reg and tr instrument like in
+// goldenFlowScenarios.
+func goldenChunkScenarios(reg *obs.Registry, tr *obs.Trace) []Scenario {
 	grid := NewGrid().
 		Axis("transport", "inrpp", "aimd", "arc").
 		Axis("transfers", "1", "3").
@@ -74,17 +82,21 @@ func goldenChunkScenarios() []Scenario {
 			Chunks:      200,
 			Horizon:     2 * time.Second,
 			Ti:          10 * time.Millisecond,
+			Obs:         reg,
+			Trace:       tr,
+			TraceLabel:  ScenarioName(pt, replica),
 		}
 		return spec.Run(seed)
 	})
 }
 
 // renderGolden runs the scenarios and renders all three output formats
-// the way cmd/sweep does.
-func renderGolden(t *testing.T, scenarios []Scenario) (table, csv, jsonOut []byte) {
+// the way cmd/sweep does. A non-nil reg additionally instruments the
+// runner itself.
+func renderGolden(t *testing.T, scenarios []Scenario, reg *obs.Registry) (table, csv, jsonOut []byte) {
 	t.Helper()
 	acc := NewAccumulator(AccumulatorConfig{Mode: AggExact}, scenarios)
-	runner := &Runner{Workers: 4}
+	runner := &Runner{Workers: 4, Obs: reg}
 	failed, err := runner.Accumulate(context.Background(), scenarios, acc)
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +154,7 @@ func clip(b []byte) string {
 // TestGoldenFlowSweep pins the rendered bytes of a flow-mode sweep
 // against the seed allocator's output.
 func TestGoldenFlowSweep(t *testing.T) {
-	table, csv, jsonOut := renderGolden(t, goldenFlowScenarios())
+	table, csv, jsonOut := renderGolden(t, goldenFlowScenarios(nil, nil), nil)
 	checkGolden(t, "golden_flow_table.txt", table)
 	checkGolden(t, "golden_flow.csv", csv)
 	checkGolden(t, "golden_flow.json", jsonOut)
@@ -151,10 +163,49 @@ func TestGoldenFlowSweep(t *testing.T) {
 // TestGoldenChunkSweep pins the rendered bytes of a chunk-mode sweep
 // against the seed DES's output.
 func TestGoldenChunkSweep(t *testing.T) {
-	table, csv, jsonOut := renderGolden(t, goldenChunkScenarios())
+	table, csv, jsonOut := renderGolden(t, goldenChunkScenarios(nil, nil), nil)
 	checkGolden(t, "golden_chunk_table.txt", table)
 	checkGolden(t, "golden_chunk.csv", csv)
 	checkGolden(t, "golden_chunk.json", jsonOut)
+}
+
+// TestGoldenFlowSweepWithObs re-runs the flow sweep fully instrumented —
+// shared registry, full-rate event trace, instrumented runner — and
+// requires the rendered bytes to still match the uninstrumented fixtures:
+// metrics observe the simulation, they never influence it.
+func TestGoldenFlowSweepWithObs(t *testing.T) {
+	reg := obs.New("golden-flow")
+	tr := obs.NewTrace(io.Discard, 1)
+	table, csv, jsonOut := renderGolden(t, goldenFlowScenarios(reg, tr), reg)
+	checkGolden(t, "golden_flow_table.txt", table)
+	checkGolden(t, "golden_flow.csv", csv)
+	checkGolden(t, "golden_flow.json", jsonOut)
+	snap := reg.Snapshot()
+	if snap.Counters["flowsim_flows_admitted"] == 0 {
+		t.Error("instrumented sweep recorded no admissions; registry not threaded")
+	}
+	if snap.Counters["sweep_scenarios_completed"] != 12 {
+		t.Errorf("sweep_scenarios_completed = %d, want 12", snap.Counters["sweep_scenarios_completed"])
+	}
+}
+
+// TestGoldenChunkSweepWithObs is the chunk-mode analogue: the DES-level
+// instrumentation (including the extra custody sampling tick events) must
+// leave the fixtures byte-identical.
+func TestGoldenChunkSweepWithObs(t *testing.T) {
+	reg := obs.New("golden-chunk")
+	tr := obs.NewTrace(io.Discard, 1)
+	table, csv, jsonOut := renderGolden(t, goldenChunkScenarios(reg, tr), reg)
+	checkGolden(t, "golden_chunk_table.txt", table)
+	checkGolden(t, "golden_chunk.csv", csv)
+	checkGolden(t, "golden_chunk.json", jsonOut)
+	snap := reg.Snapshot()
+	if snap.Counters["chunknet_chunks_delivered"] == 0 {
+		t.Error("instrumented sweep recorded no deliveries; registry not threaded")
+	}
+	if snap.Counters["des_events_fired"] == 0 {
+		t.Error("kernel counters not bound")
+	}
 }
 
 // TestGoldenWorkerInvariance re-renders the flow sweep single-threaded:
@@ -163,7 +214,7 @@ func TestGoldenWorkerInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	scenarios := goldenFlowScenarios()
+	scenarios := goldenFlowScenarios(nil, nil)
 	acc := NewAccumulator(AccumulatorConfig{Mode: AggExact}, scenarios)
 	runner := &Runner{Workers: 1}
 	if _, err := runner.Accumulate(context.Background(), scenarios, acc); err != nil {

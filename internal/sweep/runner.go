@@ -7,8 +7,11 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Progress is invoked after each scenario finishes (success, failure or
@@ -34,6 +37,12 @@ type Runner struct {
 	// partitioner — e.g. a cost-balanced WeightedShard. All shard
 	// semantics above apply unchanged.
 	Partition Partitioner
+	// Obs, when non-nil, binds sweep-level metrics to the registry:
+	// counters sweep_scenarios_scheduled / _completed / _failed,
+	// sweep_busy_ns (summed scenario wall time) and per-worker
+	// sweep_worker_busy_ns{worker="N"}. A live progress view (rate, ETA)
+	// derives from scheduled vs completed.
+	Obs *obs.Registry
 }
 
 // owns reports whether this runner's partition slice owns the scenario.
@@ -77,17 +86,17 @@ func (r *Runner) Run(ctx context.Context, scenarios []Scenario) []Result {
 // the error is the first accumulator rejection (a wiring bug such as a
 // scenario list acc was not built for), if any.
 func (r *Runner) Accumulate(ctx context.Context, scenarios []Scenario, acc *Accumulator) ([]Result, error) {
-	obs := &resultObserver{acc: acc}
+	ro := &resultObserver{acc: acc}
 	indices := make([]int, 0, len(scenarios))
 	for i, sc := range scenarios {
 		if !r.owns(sc) {
-			obs.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
+			ro.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
 			continue
 		}
 		indices = append(indices, i)
 	}
-	r.run(ctx, scenarios, indices, obs.observe)
-	return obs.done()
+	r.run(ctx, scenarios, indices, ro.observe)
+	return ro.done()
 }
 
 // ResumeAccumulate is Resume on the streaming path: prior results without
@@ -100,22 +109,22 @@ func (r *Runner) ResumeAccumulate(ctx context.Context, scenarios []Scenario, pri
 	if len(prior) != len(scenarios) {
 		panic(fmt.Sprintf("sweep: ResumeAccumulate with %d results for %d scenarios", len(prior), len(scenarios)))
 	}
-	obs := &resultObserver{acc: acc}
+	ro := &resultObserver{acc: acc}
 	var pending []int
 	for i, res := range prior {
 		sc := scenarios[i]
 		if !r.owns(sc) {
-			obs.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
+			ro.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
 			continue
 		}
 		if res.Err != nil {
 			pending = append(pending, i)
 			continue
 		}
-		obs.observe(i, res)
+		ro.observe(i, res)
 	}
-	r.run(ctx, scenarios, pending, obs.observe)
-	return obs.done()
+	r.run(ctx, scenarios, pending, ro.observe)
+	return ro.done()
 }
 
 // ResumeCheckpointAccumulate is the streaming resume: it byte-offset-
@@ -163,12 +172,12 @@ func (r *Runner) ResumeCheckpointAccumulate(ctx context.Context, path, label str
 		}
 	}
 
-	obs := &resultObserver{acc: acc}
+	ro := &resultObserver{acc: acc}
 	restored := 0
 	var pending, restorable []int
 	for i, sc := range scenarios {
 		if !r.owns(sc) {
-			obs.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
+			ro.observe(i, Result{Name: sc.Name, Point: sc.Point, Replica: sc.Replica, Seed: sc.Seed, Err: ErrOtherShard})
 			continue
 		}
 		if refs[i].file < 0 {
@@ -200,20 +209,20 @@ func (r *Runner) ResumeCheckpointAccumulate(ctx context.Context, path, label str
 			var err error
 			res, buf, err = readRecordAt(f, path, refs[i], scenarios[i], buf)
 			if err != nil {
-				obs.fail(err)
+				ro.fail(err)
 				return
 			}
-			obs.observe(i, res)
+			ro.observe(i, res)
 			pos++
 		}
 	}
 	feed()
 	r.run(ctx, scenarios, pending, func(i int, res Result) {
-		obs.observe(i, res)
+		ro.observe(i, res)
 		feed() // the cursor may now have reached parked restorable records
 	})
 	feed() // flush any restorable tail behind the last completion
-	failed, err := obs.done()
+	failed, err := ro.done()
 	return restored, failed, err
 }
 
@@ -325,15 +334,34 @@ func (r *Runner) run(ctx context.Context, scenarios []Scenario, indices []int, e
 		mu.Unlock()
 	}
 
+	// Sweep-level instruments: all nil without r.Obs, making every update
+	// below a nil-safe no-op. Metrics never influence scheduling.
+	var (
+		mCompleted = r.Obs.Counter("sweep_scenarios_completed")
+		mFailed    = r.Obs.Counter("sweep_scenarios_failed")
+		mBusy      = r.Obs.Counter("sweep_busy_ns")
+	)
+	r.Obs.Counter("sweep_scenarios_scheduled").Add(int64(len(indices)))
+
 	queue := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		var wBusy *obs.Counter
+		if r.Obs != nil {
+			wBusy = r.Obs.Counter(obs.Labeled("sweep_worker_busy_ns", "worker", strconv.Itoa(w)))
+		}
 		go func() {
 			defer wg.Done()
 			for i := range queue {
 				res := runOne(ctx, scenarios[i])
 				emit(i, res)
+				mCompleted.Inc()
+				mBusy.Add(res.Elapsed.Nanoseconds())
+				wBusy.Add(res.Elapsed.Nanoseconds())
+				if res.Err != nil && !Skipped(res) {
+					mFailed.Inc()
+				}
 				report(res)
 			}
 		}()

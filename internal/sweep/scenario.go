@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/flowsim"
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -36,6 +37,14 @@ type FlowSpec struct {
 	DemandCap units.BitRate
 	// Horizon stops the simulation; 0 runs to completion.
 	Horizon time.Duration
+
+	// Obs, Trace and TraceLabel thread observability into the simulator
+	// (see flowsim.Config). All optional; scenarios expanded from one grid
+	// typically share a single registry and trace, with TraceLabel set to
+	// the scenario name. Metrics never change simulation results.
+	Obs        *obs.Registry
+	Trace      *obs.Trace
+	TraceLabel string
 }
 
 // Graph builds the spec's topology with its capacity override applied.
@@ -81,11 +90,14 @@ func (s FlowSpec) Simulate(seed int64) (*flowsim.Result, error) {
 		return nil, err
 	}
 	return flowsim.Run(flowsim.Config{
-		Graph:     g,
-		Policy:    s.Policy,
-		Flows:     s.cachedWorkload(g, seed),
-		Horizon:   s.Horizon,
-		DemandCap: s.DemandCap,
+		Graph:      g,
+		Policy:     s.Policy,
+		Flows:      s.cachedWorkload(g, seed),
+		Horizon:    s.Horizon,
+		DemandCap:  s.DemandCap,
+		Obs:        s.Obs,
+		Trace:      s.Trace,
+		TraceLabel: s.TraceLabel,
 	})
 }
 

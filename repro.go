@@ -23,10 +23,12 @@ package repro
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"repro/internal/chunknet"
 	"repro/internal/experiments"
 	"repro/internal/flowsim"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/route"
 	"repro/internal/stats"
@@ -113,6 +115,25 @@ type (
 	// QuantileSketch is a mergeable bounded ε-approximate quantile summary
 	// (Greenwald–Khanna).
 	QuantileSketch = stats.GKSketch
+
+	// ObsRegistry is a named registry of allocation-conscious simulation
+	// metrics (counters, gauges, histograms, sim-time samplers). A nil
+	// registry disables instrumentation at near-zero cost; thread one
+	// through FlowConfig/ChunkConfig/FlowSweepSpec/ChunkSweepSpec/
+	// SweepRunner and snapshot it live.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time copy of a registry, renderable as
+	// JSON or Prometheus text format.
+	ObsSnapshot = obs.Snapshot
+	// ObsCounter is a monotone atomic counter instrument.
+	ObsCounter = obs.Counter
+	// ObsGauge is a last-value atomic gauge instrument.
+	ObsGauge = obs.Gauge
+	// ObsTrace streams sampled sim-time events as JSONL for post-hoc
+	// timeline analysis.
+	ObsTrace = obs.Trace
+	// ObsEvent is one record of an ObsTrace.
+	ObsEvent = obs.Event
 )
 
 // Common rate and size constants.
@@ -308,6 +329,18 @@ func MergeSweepCheckpointsInto(acc *SweepAccumulator, label string, scenarios []
 // NewQuantileSketch returns an empty mergeable quantile sketch with the
 // given rank-error fraction (eps ≤ 0 selects the 1% default).
 func NewQuantileSketch(eps float64) *QuantileSketch { return stats.NewGKSketch(eps) }
+
+// NewObsRegistry returns an empty named metrics registry. Instruments
+// are created on first use and harvested with Snapshot.
+func NewObsRegistry(name string) *ObsRegistry { return obs.New(name) }
+
+// NewObsTrace returns a sim-time event trace writing JSONL to w, keeping
+// 1 in every events per event kind (every ≤ 1 keeps all).
+func NewObsTrace(w io.Writer, every int) *ObsTrace { return obs.NewTrace(w, every) }
+
+// ObsHandler serves live snapshots of reg over HTTP: GET /metrics in
+// Prometheus text format, GET /snapshot as JSON.
+func ObsHandler(reg *ObsRegistry) http.Handler { return obs.Handler(reg) }
 
 // SweepTable renders aggregates as a mean±std table.
 func SweepTable(title string, aggs []SweepAggregate, metrics ...string) *ReportTable {

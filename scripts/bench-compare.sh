@@ -1,0 +1,95 @@
+#!/bin/sh
+# bench-compare.sh — compare two BENCH_*.json snapshots benchmark by
+# benchmark, and gate on allocs/op regressions.
+#
+# Usage:
+#   scripts/bench-compare.sh baseline.json current.json
+#
+# Environment:
+#   GATED      space-separated benchmark names gated on allocs/op
+#              (default: every benchmark present in both snapshots)
+#   ALLOW_PCT  allocs/op regression allowance in percent (default 25)
+#
+# Every benchmark present in both files gets a ns/op and allocs/op delta
+# line. The exit status is nonzero when any gated benchmark's allocs/op
+# exceeds baseline × (1 + ALLOW_PCT/100) + 16 — the absolute slack keeps
+# near-zero baselines from tripping on noise — or when a gated benchmark
+# is missing from the current snapshot. ns/op is reported but never
+# gated: it is machine-dependent, allocs/op is not.
+set -eu
+
+base="${1:?usage: bench-compare.sh baseline.json current.json}"
+cur="${2:?usage: bench-compare.sh baseline.json current.json}"
+ALLOW_PCT="${ALLOW_PCT:-25}"
+GATED="${GATED:-}"
+
+[ -r "$base" ] || { echo "bench-compare: cannot read baseline $base" >&2; exit 1; }
+[ -r "$cur" ] || { echo "bench-compare: cannot read current $cur" >&2; exit 1; }
+
+# rows FILE → "name ns_per_op allocs_per_op" per benchmark entry. The
+# snapshots keep one benchmark object per line (see bench.sh to_json), so
+# a line-oriented scan suffices — no JSON tooling dependency.
+rows() {
+    awk '/"name":/ {
+        name = ""; ns = ""; allocs = ""
+        if (match($0, /"name":"[^"]*"/)) {
+            name = substr($0, RSTART + 8, RLENGTH - 9)
+        }
+        if (match($0, /"ns_per_op":[0-9.]+/)) {
+            ns = substr($0, RSTART + 12, RLENGTH - 12)
+        }
+        if (match($0, /"allocs_per_op":[0-9.]+/)) {
+            allocs = substr($0, RSTART + 16, RLENGTH - 16)
+        }
+        if (name != "" && ns != "") printf "%s %s %s\n", name, ns, allocs
+    }' "$1"
+}
+
+brows="$(rows "$base")"
+crows="$(rows "$cur")"
+if [ -z "$crows" ]; then
+    echo "bench-compare: no benchmarks in $cur" >&2
+    exit 1
+fi
+if [ -z "$GATED" ]; then
+    GATED="$(printf '%s\n' "$crows" | awk '{print $1}' | tr '\n' ' ')"
+fi
+
+# Delta report for every benchmark in the current snapshot.
+printf '%s\n' "$crows" | while read -r name c_ns c_allocs; do
+    b_line="$(printf '%s\n' "$brows" | awk -v n="$name" '$1 == n { print; exit }')"
+    if [ -z "$b_line" ]; then
+        echo "bench-compare: new  $name ns/op $c_ns allocs/op $c_allocs (no baseline)"
+        continue
+    fi
+    echo "$b_line" | awk -v c_ns="$c_ns" -v c_al="$c_allocs" '{
+        d = ($2 > 0) ? sprintf("%+.1f%%", 100 * (c_ns - $2) / $2) : "n/a"
+        printf "bench-compare:      %s ns/op %s -> %s (%s), allocs/op %s -> %s\n",
+            $1, $2, c_ns, d, $3, c_al
+    }'
+done
+
+# Allocs/op gate over the gated set.
+fail=0
+# shellcheck disable=SC2086 # word splitting of GATED is the iteration
+for g in $GATED; do
+    baseline="$(printf '%s\n' "$brows" | awk -v n="$g" '$1 == n { print $3 }')"
+    current="$(printf '%s\n' "$crows" | awk -v n="$g" '$1 == n { print $3 }')"
+    if [ -z "$current" ]; then
+        echo "bench-compare: FAIL $g missing from current snapshot" >&2
+        fail=1
+        continue
+    fi
+    if [ -z "$baseline" ]; then
+        echo "bench-compare: skip $g absent from baseline" >&2
+        continue
+    fi
+    if awk -v c="$current" -v b="$baseline" -v pct="$ALLOW_PCT" \
+        'BEGIN { exit !(c > b * (1 + pct / 100) + 16) }'; then
+        echo "bench-compare: FAIL $g allocs/op $current vs baseline $baseline (allow +$ALLOW_PCT% +16)" >&2
+        fail=1
+    else
+        echo "bench-compare: ok   $g allocs/op $current vs baseline $baseline"
+    fi
+done
+exit "$fail"

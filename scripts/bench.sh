@@ -60,8 +60,22 @@ extract() {
     }' "$1"
 }
 
+# Environment metadata embedded in every snapshot, so a BENCH_<n>.json
+# is self-describing: which toolchain, parallelism, CPU and commit
+# produced its numbers.
+env_json() {
+    go_version="$(go version 2>/dev/null | awk '{ print $3 }')"
+    maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}"
+    cpu="$(awk -F': *' '/model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null)"
+    commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "env": {"go":"%s","gomaxprocs":%s,"cpu":"%s","commit":"%s"},\n' \
+        "${go_version:-unknown}" "${maxprocs:-0}" "${cpu:-unknown}" "$commit"
+}
+
 to_json() {
-    printf '{\n  "benchtime": "%s",\n  "benchmarks": [\n' "$BENCHTIME"
+    printf '{\n  "benchtime": "%s",\n' "$BENCHTIME"
+    env_json
+    printf '  "benchmarks": [\n'
     extract "$RAW" | awk '{
         if (NR > 1) printf ",\n"
         printf "    {\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", $1, $2, $3, $4
@@ -81,33 +95,14 @@ if [ "$MODE" = "smoke" ]; then
         echo "bench: smoke: no BENCH_*.json baseline committed" >&2
         exit 1
     fi
-    echo "bench: smoke: comparing allocs/op against $base (allow +$ALLOW_PCT%)" >&2
-    fail=0
-    # shellcheck disable=SC2086 # word splitting of GATED is the iteration
-    for g in $GATED; do
-        baseline="$(awk -F'"allocs_per_op":' -v name="\"name\":\"$g\"" \
-            'index($0, name) { sub(/[^0-9].*/, "", $2); print $2 }' "$base")"
-        current="$(extract "$RAW" | awk -v name="$g" '$1 == name { print $4 }')"
-        if [ -z "$current" ]; then
-            echo "bench: smoke: gated benchmark $g missing from run" >&2
-            fail=1
-            continue
-        fi
-        if [ -z "$baseline" ]; then
-            echo "bench: smoke: $g absent from $base — skipping" >&2
-            continue
-        fi
-        # Fail when current > baseline × (1 + ALLOW_PCT/100) + 16; the
-        # absolute slack keeps near-zero baselines from tripping on noise.
-        if awk -v c="$current" -v b="$baseline" -v pct="$ALLOW_PCT" \
-            'BEGIN { exit !(c > b * (1 + pct / 100) + 16) }'; then
-            echo "bench: smoke: FAIL $g allocs/op $current vs baseline $baseline" >&2
-            fail=1
-        else
-            echo "bench: smoke: ok   $g allocs/op $current vs baseline $baseline" >&2
-        fi
-    done
-    exit "$fail"
+    echo "bench: smoke: comparing against $base (allow +$ALLOW_PCT% allocs/op)" >&2
+    current="$(mktemp)"
+    to_json >"$current"
+    status=0
+    GATED="$GATED" ALLOW_PCT="$ALLOW_PCT" \
+        sh scripts/bench-compare.sh "$base" "$current" || status=$?
+    rm -f "$current"
+    exit "$status"
 fi
 
 n=0
