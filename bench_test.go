@@ -276,6 +276,55 @@ func BenchmarkFig4Scaled(b *testing.B) {
 	}
 }
 
+// BenchmarkFig4Huge pushes the flowsim event loop two orders of
+// magnitude past BenchmarkFig4Scaled: 100k flows on the Exodus topology,
+// run to completion. At this scale the per-event cost is what matters —
+// the completion min-heap and class-granularity accounting keep each
+// event at O(active + classes) instead of O(flows) scans — and steady-
+// state allocation churn must stay at zero (ReportAllocs + the bench.sh
+// allocs/op gate). Sizes are kept small so the population turns over
+// (~10⁵ completion events) rather than accumulating, and capacity vs
+// demand leaves the network moderately congested: enough saturated arcs
+// to exercise the INRP pooling fixpoint, not so many that the fill
+// dominates wall-clock.
+func BenchmarkFig4Huge(b *testing.B) {
+	for _, pol := range []flowsim.Policy{flowsim.SP, flowsim.INRP} {
+		b.Run(pol.String(), func(b *testing.B) {
+			g := topo.MustBuildISP(topo.Exodus)
+			g.SetAllCapacities(450 * units.Mbps)
+			flows := hugeWorkload(g, 100_000)
+			var r *flowsim.Result
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = flowsim.Run(flowsim.Config{
+					Graph: g, Policy: pol, Flows: flows,
+					DemandCap: 100 * units.Mbps,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(r.Completed), "completed")
+			b.ReportMetric(r.DemandSatisfied, "throughput")
+		})
+	}
+}
+
+// hugeWorkload builds the 10⁵-flow benchmark workload: arrivals span ≈4s
+// of virtual time, sizes are heavy-tailed but small enough that flows
+// complete in tens of milliseconds, keeping the concurrently active
+// population in the hundreds while the total flow count scales freely.
+func hugeWorkload(g *topo.Graph, count int) []workload.Flow {
+	return workload.Generate(workload.Spec{
+		Arrivals: workload.NewPoisson(float64(count)/8, 1),
+		Sizes:    workload.NewBoundedPareto(1.5, 32*units.KB, 4*units.MB, 2),
+		Matrix:   workload.NewGravity(g, 3),
+		Count:    count,
+	})
+}
+
 // BenchmarkChunknetFanIn exercises the chunk-level DES hot path: 64
 // concurrent transfers fan in from eight sources through a hub onto one
 // bottleneck egress, so per-packet forwarding, store churn and event

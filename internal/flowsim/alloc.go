@@ -10,30 +10,40 @@ import (
 // non-final pooling rounds; the planner caps grants by donor residuals.
 const optimisticOverflow = 1e15 // 1 Pbps
 
-// allocate computes the current per-flow rates (bits/s) and the expected
-// hop count of each flow's traffic (primary hops plus the rate-weighted
-// detour extension), according to the configured policy.
-//
-// Rates are computed per flow class (see classes.go) and expanded into
-// per-flow slices only at the end; both returned slices are runner-owned
-// scratch, valid until the next allocate call. The whole path is
-// allocation-free in steady state.
-func (r *runner) allocate() (rates []float64, hopsExp []float64) {
+// allocateClasses computes the current per-class rates (bits/s) and
+// fills classHopsExp with each class's expected hop count (primary hops
+// plus the rate-weighted detour extension), according to the configured
+// policy. The returned slice is runner-owned scratch (classRate), valid
+// until the next call; the whole path is allocation-free in steady
+// state. The event loop consumes class rates directly — per-flow
+// expansion exists only for the retained reference loop and tests.
+func (r *runner) allocateClasses() []float64 {
 	r.mAllocFills.Inc()
-	n := len(r.active)
-	rates = growFloats(&r.ratesBuf, n)
-	hopsExp = growFloats(&r.hopsBuf, n)
-
 	if r.cfg.Policy != INRP {
 		r.detourRate = 0
 		classRate := r.classFill(r.capBase)
-		for i, f := range r.active {
-			rates[i] = classRate[f.class]
-			hopsExp[i] = f.hops
+		for _, c := range r.liveClasses {
+			r.classHopsExp[c] = r.classes[c].hops
 		}
-		return rates, hopsExp
+		return classRate
 	}
-	return r.allocateINRP(rates, hopsExp)
+	return r.allocateINRP()
+}
+
+// allocate expands the class-level allocation into per-flow rate and
+// expected-hop slices, indexed in admission (activeOrder) order. Both
+// returned slices are runner-owned scratch, valid until the next call.
+func (r *runner) allocate() (rates []float64, hopsExp []float64) {
+	classRate := r.allocateClasses()
+	n := len(r.activeOrder)
+	rates = growFloats(&r.ratesBuf, n)
+	hopsExp = growFloats(&r.hopsBuf, n)
+	for i, s := range r.activeOrder {
+		c := r.slotClass[s]
+		rates[i] = classRate[c]
+		hopsExp[i] = r.classHopsExp[c]
+	}
+	return rates, hopsExp
 }
 
 // grantRec records one detour grant of the current plan: the congested
@@ -76,7 +86,7 @@ func (l congestedList) Swap(i, j int) { l[i], l[j] = l[j], l[i] }
 // capacity back into the filling, and iterate. Overflow that no detour
 // can absorb is back-pressured: the affected flows are rate-capped in a
 // final feasibility pass.
-func (r *runner) allocateINRP(rates, hopsExp []float64) ([]float64, []float64) {
+func (r *runner) allocateINRP() []float64 {
 	n := r.nArcs
 	zero(r.grantsFor)
 	zero(r.detourLoad)
@@ -100,13 +110,14 @@ func (r *runner) allocateINRP(rates, hopsExp []float64) ([]float64, []float64) {
 		}
 		classRate = r.classFill(capEff)
 
-		// Per-arc primary load. Accumulated flow-by-flow in active order —
-		// not class×weight products — so the float summation order matches
-		// the per-flow reference bit for bit.
+		// Per-arc primary load. Accumulated flow-by-flow in admission
+		// order — not class×weight products — so the float summation
+		// order matches the per-flow reference bit for bit.
 		zero(primaryLoad)
-		for _, f := range r.active {
-			cr := classRate[f.class]
-			for _, a := range f.arcs {
+		for _, s := range r.activeOrder {
+			c := r.slotClass[s]
+			cr := classRate[c]
+			for _, a := range r.classes[c].arcs {
 				primaryLoad[a] += cr
 			}
 		}
@@ -168,11 +179,8 @@ func (r *runner) allocateINRP(rates, hopsExp []float64) ([]float64, []float64) {
 	for a := 0; a < r.nArcs; a++ {
 		r.detourRate += r.grantsFor[a]
 	}
-	for c := range r.classes {
+	for _, c := range r.liveClasses {
 		cl := &r.classes[c]
-		if cl.weight == 0 {
-			continue
-		}
 		extra := 0.0
 		for _, a := range cl.arcs {
 			if r.grantsFor[a] <= 0 || primaryLoad[a] <= 0 {
@@ -185,12 +193,9 @@ func (r *runner) allocateINRP(rates, hopsExp []float64) ([]float64, []float64) {
 			extra += phi * (r.extraWeighted[a] / r.grantsFor[a])
 		}
 		r.classExtra[c] = extra
+		r.classHopsExp[c] = cl.hops + extra
 	}
-	for i, f := range r.active {
-		rates[i] = classRate[f.class]
-		hopsExp[i] = f.hops + r.classExtra[f.class]
-	}
-	return rates, hopsExp
+	return classRate
 }
 
 // enforceFeasibility rate-caps classes on arcs whose overflow could not
@@ -226,10 +231,10 @@ func (r *runner) enforceFeasibility(classRate, primaryLoad []float64) {
 		if factor < 0 {
 			factor = 0
 		}
-		for c := range r.classes {
+		for _, c := range r.liveClasses {
 			cl := &r.classes[c]
 			r.classCut[c] = 0
-			if cl.weight == 0 || classRate[c] == 0 {
+			if classRate[c] == 0 {
 				continue
 			}
 			if !pathHasArc(cl.arcs, int32(worst)) {
@@ -239,12 +244,13 @@ func (r *runner) enforceFeasibility(classRate, primaryLoad []float64) {
 			classRate[c] -= cut
 			r.classCut[c] = cut
 		}
-		for _, f := range r.active {
-			cut := r.classCut[f.class]
+		for _, s := range r.activeOrder {
+			c := r.slotClass[s]
+			cut := r.classCut[c]
 			if cut == 0 {
 				continue
 			}
-			for _, a := range f.arcs {
+			for _, a := range r.classes[c].arcs {
 				primaryLoad[a] -= cut
 			}
 		}

@@ -27,6 +27,15 @@ type flowClass struct {
 	cap    float64 // per-flow demand cap (0 = elastic); uniform per run
 	hops   float64 // primary hop count
 	weight int     // active member flows
+
+	// members is a binary min-heap of the class's live flow slots keyed
+	// by remaining bits (heap.go). Every member drains by the same
+	// per-class delta each epoch — a monotone map on remaining — so the
+	// heap order is invariant under advancement and only admit (push)
+	// and finish (pop) touch it. The front member is the class's next
+	// finisher, giving the event loop the projected class completion in
+	// O(1).
+	members []int32
 }
 
 // classKey renders a path's arc indexes into the registry key bytes.
@@ -43,7 +52,8 @@ func (r *runner) classKey(arcs []int32) []byte {
 }
 
 // classFor returns the class index for a path, creating the class on
-// first sight. The caller transfers ownership of arcs to the class.
+// first sight. arcs may be caller scratch: the class stores its own
+// copy, so admission allocates only when a new class appears.
 func (r *runner) classFor(arcs []int32, hops float64) int32 {
 	key := r.classKey(arcs)
 	if idx, ok := r.classOf[string(key)]; ok {
@@ -54,9 +64,10 @@ func (r *runner) classFor(arcs []int32, hops float64) int32 {
 	if r.cfg.DemandCap > 0 {
 		capLimit = float64(r.cfg.DemandCap)
 	}
-	r.classes = append(r.classes, flowClass{arcs: arcs, cap: capLimit, hops: hops})
+	owned := append([]int32(nil), arcs...)
+	r.classes = append(r.classes, flowClass{arcs: owned, cap: capLimit, hops: hops})
 	r.classOf[string(key)] = idx
-	for _, a := range arcs {
+	for _, a := range owned {
 		r.arcClasses[a] = append(r.arcClasses[a], idx)
 	}
 	r.growClassScratch()
@@ -72,6 +83,13 @@ func (r *runner) growClassScratch() {
 		r.classFrozen = append(r.classFrozen, false)
 		r.classCut = append(r.classCut, 0)
 		r.classExtra = append(r.classExtra, 0)
+		r.classHopsExp = append(r.classHopsExp, 0)
+		r.classGen = append(r.classGen, 0)
+		r.prevClassRate = append(r.prevClassRate, 0)
+		r.classDirty = append(r.classDirty, false)
+		r.classMoved = append(r.classMoved, 0)
+		r.classMovedHop = append(r.classMovedHop, 0)
+		r.classPos = append(r.classPos, -1)
 	}
 }
 
@@ -100,18 +118,21 @@ func (r *runner) classFill(capacity []float64) []float64 {
 	capLimit := float64(r.cfg.DemandCap)
 	capped := capLimit > 0
 
+	// Only live classes participate; dead classes hold frozen=true and
+	// rate=0 permanently (the finishSlot invariant), so the freeze sweeps
+	// below may reach them through arcClasses without effect. The live
+	// list's order is arbitrary, which is sound here: per-arc weights are
+	// integer sums and freezes are per-class, so no float chain depends
+	// on class enumeration order.
 	remaining := 0
 	for i := range load {
 		load[i] = 0
 		weight[i] = 0
 	}
-	for c := range r.classes {
+	for _, c := range r.liveClasses {
 		cl := &r.classes[c]
 		rates[c] = 0
-		frozen[c] = cl.weight == 0
-		if frozen[c] {
-			continue
-		}
+		frozen[c] = false
 		remaining++
 		for _, a := range cl.arcs {
 			weight[a] += cl.weight
@@ -197,9 +218,9 @@ func (r *runner) classFill(capacity []float64) []float64 {
 		// threshold check happens once, the freeze sweep only on the (at
 		// most one) event where the cap binds.
 		if capped && capLimit-level <= capEps(capLimit) {
-			for c := range r.classes {
+			for _, c := range r.liveClasses {
 				if !frozen[c] {
-					progressed = freeze(int32(c), capLimit) || progressed
+					progressed = freeze(c, capLimit) || progressed
 				}
 			}
 		}
@@ -216,7 +237,7 @@ func (r *runner) classFill(capacity []float64) []float64 {
 		}
 		if !progressed {
 			// Numerical stalemate: freeze everything at the current level.
-			for c := range frozen {
+			for _, c := range r.liveClasses {
 				if !frozen[c] {
 					frozen[c] = true
 					rates[c] = level

@@ -1,9 +1,12 @@
 package flowsim
 
 import (
+	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/topo"
@@ -19,18 +22,24 @@ import (
 // random graphs and workloads — elastic and demand-capped, SP and INRP
 // with pooling rounds, across admit/finish churn — and require
 // bit-identical rates, expected hops and back-pressure counts.
+//
+// It also retains the scan-based event loop as runRef: the oracle for
+// the completion-heap loop in run(). TestRunHeapVsScanEquivalence
+// requires the two loops to produce DeepEqual Results — every float in
+// every field — over random graphs, workloads and policies.
 
 // allocateRef is the retained per-flow reference allocator.
 func (r *runner) allocateRef() (rates []float64, hopsExp []float64) {
-	paths := make([][]int32, len(r.active))
-	hopsExp = make([]float64, len(r.active))
-	for i, f := range r.active {
-		paths[i] = f.arcs
-		hopsExp[i] = f.hops
+	paths := make([][]int32, len(r.activeOrder))
+	hopsExp = make([]float64, len(r.activeOrder))
+	for i, s := range r.activeOrder {
+		cl := &r.classes[r.slotClass[s]]
+		paths[i] = cl.arcs
+		hopsExp[i] = cl.hops
 	}
 	var caps []float64
 	if r.cfg.DemandCap > 0 {
-		caps = make([]float64, len(r.active))
+		caps = make([]float64, len(r.activeOrder))
 		for i := range caps {
 			caps[i] = float64(r.cfg.DemandCap)
 		}
@@ -241,7 +250,7 @@ func checkEqual(t *testing.T, trial int, what string, ref, got []float64) {
 func driveEquivalence(t *testing.T, trial int, r *runner, flows []workload.Flow, rng *rand.Rand) {
 	t.Helper()
 	next := 0
-	for next < len(flows) || len(r.active) > 0 {
+	for next < len(flows) || len(r.activeOrder) > 0 {
 		// Admit a batch.
 		batch := 1 + rng.Intn(4)
 		for b := 0; b < batch && next < len(flows); b++ {
@@ -276,24 +285,25 @@ func driveEquivalence(t *testing.T, trial int, r *runner, flows []workload.Flow,
 			t.Fatalf("trial %d: detourRate %v vs %v", trial, refDetour, r.detourRate)
 		}
 
-		// Finish a random subset, exercising incremental class membership.
-		if len(r.active) > 0 && rng.Intn(2) == 0 {
-			kept := r.active[:0]
-			for _, f := range r.active {
+		// Finish a random subset, exercising incremental class membership
+		// (and slot reuse: finished slots return to the free list).
+		if len(r.activeOrder) > 0 && rng.Intn(2) == 0 {
+			kept := r.activeOrder[:0]
+			for _, s := range r.activeOrder {
 				if rng.Intn(3) == 0 {
-					r.finish(f, f.arrival+1)
+					r.finishSlot(s, r.slotArrival[s]+1)
 					continue
 				}
-				kept = append(kept, f)
+				kept = append(kept, s)
 			}
-			r.active = kept
+			r.activeOrder = kept
 		}
 		if next >= len(flows) {
 			// Drain everything to terminate.
-			for _, f := range r.active {
-				r.finish(f, f.arrival+1)
+			for _, s := range r.activeOrder {
+				r.finishSlot(s, r.slotArrival[s]+1)
 			}
-			r.active = r.active[:0]
+			r.activeOrder = r.activeOrder[:0]
 		}
 	}
 }
@@ -357,24 +367,234 @@ func TestClassFillMatchesProgressiveFill(t *testing.T) {
 			id++
 		}
 
-		paths := make([][]int32, len(r.active))
-		for i, f := range r.active {
-			paths[i] = f.arcs
+		paths := make([][]int32, len(r.activeOrder))
+		for i, s := range r.activeOrder {
+			paths[i] = r.classes[r.slotClass[s]].arcs
 		}
 		var caps []float64
 		if cap > 0 {
-			caps = make([]float64, len(r.active))
+			caps = make([]float64, len(r.activeOrder))
 			for i := range caps {
 				caps[i] = float64(cap)
 			}
 		}
 		ref := progressiveFill(paths, r.capBase, caps)
 		classRate := r.classFill(r.capBase)
-		for i, f := range r.active {
-			if ref[i] != classRate[f.class] {
+		for i, s := range r.activeOrder {
+			if ref[i] != classRate[r.slotClass[s]] {
 				t.Fatalf("trial %d: flow %d rate %v (per-flow) vs %v (class)",
-					trial, i, ref[i], classRate[f.class])
+					trial, i, ref[i], classRate[r.slotClass[s]])
 			}
 		}
 	}
+}
+
+// runRef is the retained scan-based event loop, the oracle for the
+// completion-heap loop: per event it scans every active flow for the
+// earliest completion, advances each flow by its own rate×dt product,
+// and filters completions out of the active list. Identical to the
+// pre-heap run() except for operating on the slot arrays.
+func (r *runner) runRef() (*Result, error) {
+	flows := r.cfg.Flows
+	next := 0
+	now := 0.0
+	horizon := math.Inf(1)
+	if r.cfg.Horizon > 0 {
+		horizon = r.cfg.Horizon.Seconds()
+	}
+
+	for next < len(flows) && flows[next].Arrival.Seconds() <= now+arrivalSlack {
+		if err := r.admit(flows[next], now); err != nil {
+			return nil, err
+		}
+		next++
+	}
+
+	for now < horizon && (len(r.activeOrder) > 0 || next < len(flows)) {
+		rates, hopsExp := r.allocate()
+
+		// Next event: first arrival or earliest completion.
+		tEvent := horizon
+		if next < len(flows) {
+			if ta := flows[next].Arrival.Seconds(); ta < tEvent {
+				tEvent = ta
+			}
+		}
+		for i, s := range r.activeOrder {
+			if rates[i] <= 0 {
+				continue
+			}
+			tc := now + r.slotRem[s]/rates[i]
+			if tc < tEvent {
+				tEvent = tc
+			}
+		}
+		if math.IsInf(tEvent, 1) || tEvent <= now {
+			if next < len(flows) {
+				tEvent = flows[next].Arrival.Seconds()
+			} else {
+				break
+			}
+		}
+		dt := tEvent - now
+
+		// Advance flows and per-arc utilisation accounting.
+		for i, s := range r.activeOrder {
+			moved := rates[i] * dt
+			if moved > r.slotRem[s] {
+				moved = r.slotRem[s]
+			}
+			r.slotRem[s] -= moved
+			r.slotDeliv[s] += moved
+			r.slotHopBits[s] += moved * hopsExp[i]
+			for _, a := range r.classes[r.slotClass[s]].arcs {
+				r.arcBusy[a] += moved
+			}
+			r.satBits += moved
+		}
+		if r.cfg.DemandCap > 0 {
+			r.demandBits += float64(r.cfg.DemandCap) * float64(len(r.activeOrder)) * dt
+		}
+		if r.cfg.Policy == INRP {
+			r.detourBits += r.detourRate * dt
+		}
+		now = tEvent
+
+		// Completions.
+		kept := r.activeOrder[:0]
+		for _, s := range r.activeOrder {
+			if r.slotRem[s] <= finishEps {
+				r.finishSlot(s, now)
+				continue
+			}
+			kept = append(kept, s)
+		}
+		r.activeOrder = kept
+		r.gActive.Set(int64(len(r.activeOrder)))
+		if r.sActive != nil {
+			r.sActive.Sample(time.Duration(now*float64(time.Second)), float64(len(r.activeOrder)))
+		}
+
+		// Arrivals at the new time.
+		for next < len(flows) && flows[next].Arrival.Seconds() <= now+arrivalSlack {
+			if err := r.admit(flows[next], now); err != nil {
+				return nil, err
+			}
+			next++
+		}
+	}
+
+	for _, s := range r.activeOrder {
+		r.res.Delivered += units.ByteSize(r.slotDeliv[s] / 8)
+	}
+	r.finalize(now)
+	return &r.res, nil
+}
+
+// runPair executes the same config through the heap loop and the scan
+// oracle on two fresh runners and returns both results.
+func runPair(t *testing.T, cfg Config) (heap, scan *Result) {
+	t.Helper()
+	if cfg.PoolingRounds <= 0 {
+		cfg.PoolingRounds = 4
+	}
+	if cfg.Planner == (core.PlannerConfig{}) {
+		cfg.Planner = core.DefaultPlannerConfig()
+	}
+	mk := func() *runner {
+		r := &runner{cfg: cfg, g: cfg.Graph}
+		r.init()
+		return r
+	}
+	var err error
+	if heap, err = mk().run(); err != nil {
+		t.Fatal(err)
+	}
+	if scan, err = mk().runRef(); err != nil {
+		t.Fatal(err)
+	}
+	return heap, scan
+}
+
+// checkRunEqual requires the two loops' Results to be deeply equal —
+// bit-identical floats in every scalar and every slice.
+func checkRunEqual(t *testing.T, trial int, heap, scan *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(*heap, *scan) {
+		t.Fatalf("trial %d: heap loop diverged from scan oracle\nheap: %+v\nscan: %+v",
+			trial, *heap, *scan)
+	}
+}
+
+// TestRunHeapVsScanEquivalence is the event-loop property test: over
+// random graphs, workloads and policies — elastic and demand-capped,
+// arrival churn, zero-rate stalls from zero-capacity links, finite and
+// unbounded horizons — the completion-heap loop must produce a Result
+// DeepEqual to the retained scan loop's.
+func TestRunHeapVsScanEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	trials := 48
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		g := randomGraph(rng)
+		if rng.Intn(3) == 0 {
+			// Zero out a few links: classes crossing them get rate 0 and
+			// stall, exercising the jump-to-arrival and stall-break paths.
+			links := g.Links()
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				links[rng.Intn(len(links))].Capacity = 0
+			}
+		}
+		cfg := Config{
+			Graph:  g,
+			Policy: []Policy{SP, ECMP, INRP}[rng.Intn(3)],
+		}
+		if rng.Intn(2) == 0 {
+			cfg.DemandCap = units.BitRate(20+rng.Intn(100)) * units.Mbps
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Horizon = time.Duration(1+rng.Intn(2000)) * time.Millisecond
+		}
+		flows := workload.Generate(workload.Spec{
+			Arrivals: workload.NewPoisson(float64(5+rng.Intn(40)), rng.Int63()),
+			Sizes:    workload.NewBoundedPareto(1.5, units.MB, 100*units.MB, rng.Int63()),
+			Matrix:   workload.NewGravity(g, rng.Int63()),
+			Count:    5 + rng.Intn(60),
+		})
+		cfg.Flows = flows
+		heap, scan := runPairSkipUnrouted(t, trial, cfg)
+		if heap == nil {
+			continue
+		}
+		checkRunEqual(t, trial, heap, scan)
+	}
+}
+
+// runPairSkipUnrouted is runPair, except trials whose workload hits a
+// disconnected src/dst pair are skipped (both loops must agree that the
+// run errors).
+func runPairSkipUnrouted(t *testing.T, trial int, cfg Config) (heap, scan *Result) {
+	t.Helper()
+	if cfg.PoolingRounds <= 0 {
+		cfg.PoolingRounds = 4
+	}
+	if cfg.Planner == (core.PlannerConfig{}) {
+		cfg.Planner = core.DefaultPlannerConfig()
+	}
+	mk := func() *runner {
+		r := &runner{cfg: cfg, g: cfg.Graph}
+		r.init()
+		return r
+	}
+	heap, errHeap := mk().run()
+	scan, errScan := mk().runRef()
+	if (errHeap == nil) != (errScan == nil) {
+		t.Fatalf("trial %d: heap err %v, scan err %v", trial, errHeap, errScan)
+	}
+	if errHeap != nil {
+		return nil, nil
+	}
+	return heap, scan
 }

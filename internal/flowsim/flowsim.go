@@ -127,20 +127,17 @@ type Result struct {
 	DemandSatisfied float64
 }
 
-// flowState is one active flow inside the simulator.
-type flowState struct {
-	id      int
-	path    route.Path
-	arcs    []int32 // arc indexes of the primary path
-	class   int32   // flow-class index (see classes.go)
-	hops    float64 // primary hop count
-	arrival float64 // seconds
+// arrivalSlack is the admission tolerance of the event loop: a flow
+// whose arrival time is within this of the current virtual time is
+// admitted at it, absorbing the float rounding of completion times that
+// land exactly on an arrival. The same constant governs the pre-loop
+// (t=0) batch and the per-event admission sweep, so admission is
+// symmetric across the two code paths.
+const arrivalSlack = 1e-12
 
-	remaining float64 // bits left
-	sizeBits  float64
-	delivered float64 // bits moved
-	hopBits   float64 // Σ (expected hops at epoch) × bits moved, for stretch
-}
+// finishEps is the completion residue: a flow whose remaining bits drop
+// to or below this sub-millibit threshold is done.
+const finishEps = 1e-3
 
 // Run executes the simulation described by cfg.
 func Run(cfg Config) (*Result, error) {
@@ -171,8 +168,24 @@ type runner struct {
 	ecmp    map[topo.NodeID]*route.ECMP
 	planner *core.Planner
 
-	active []*flowState
-	res    Result
+	// Flow storage, structure-of-arrays: one slot per flow, indexed by
+	// the int32 slot number, reused through a free list once the flow
+	// finishes. activeOrder lists the live slots in admission order —
+	// every per-flow loop in the simulator and the allocator walks it,
+	// so float accumulation order is the admission order regardless of
+	// slot reuse. This is the storage the bit-identity contract of the
+	// class allocator (classes.go) is defined over.
+	slotID      []int     // workload flow ID
+	slotClass   []int32   // flow-class index (see classes.go)
+	slotArrival []float64 // seconds
+	slotRem     []float64 // bits left
+	slotSize    []float64 // bits offered
+	slotDeliv   []float64 // bits moved
+	slotHopBits []float64 // Σ (expected hops at epoch) × bits moved
+	freeSlots   []int32
+	activeOrder []int32
+
+	res Result
 
 	// Flow-class registry (classes.go): classes never shrink, indices are
 	// stable, and arcClasses[a] lists every class crossing arc a.
@@ -180,6 +193,21 @@ type runner struct {
 	classOf    map[string]int32
 	arcClasses [][]int32
 	keyScratch []byte
+
+	// Live-class index: classes with at least one active member, in
+	// arbitrary order (swap-remove on death). Every per-class loop of the
+	// allocator and the event loop walks this list, so per-event cost
+	// scales with the concurrently active population, not with the total
+	// number of classes ever seen. Dead classes keep classFrozen true and
+	// classRate zero (finishSlot restores the invariant), so the freeze
+	// sweeps that reach them through arcClasses skip them for free.
+	liveClasses []int32
+	classPos    []int32 // per class: index in liveClasses, -1 when dead
+
+	// classBySrcDst caches class resolution for the deterministic
+	// policies (SP/INRP): key (src<<32|dst) → class index, so repeat
+	// admissions of an endpoint pair skip routing entirely.
+	classBySrcDst map[uint64]int32
 
 	// INRP pooling state, recomputed at every allocation.
 	grantsFor     []float64 // per arc: overflow successfully detoured
@@ -192,21 +220,40 @@ type runner struct {
 
 	// Allocator scratch, reused across allocate() calls so the hot path
 	// performs no heap allocation in steady state.
-	ratesBuf    []float64     // per flow: expanded rates
-	hopsBuf     []float64     // per flow: expanded expected hops
-	capEff      []float64     // per arc: pooled effective capacity
-	primaryLoad []float64     // per arc: primary traffic of the round
-	fillLoad    []float64     // per arc: classFill working load
-	fillWeight  []int         // per arc: classFill unfrozen weight
-	activeArcs  []int32       // classFill: arcs carrying unfrozen weight
-	satSlack    []float64     // per arc: classFill saturation tolerance
-	satArcs     []int32       // classFill: arcs saturating at one event
-	classRate   []float64     // per class: fill result / feasible rate
-	classFrozen []bool        // per class: classFill freeze marks
-	classCut    []float64     // per class: feasibility cut of the pass
-	classExtra  []float64     // per class: expected extra (detour) hops
-	cands       congestedList // saturated-arc candidates of a round
-	grantRecs   []grantRec    // detour grants of the current plan
+	ratesBuf     []float64     // per flow: expanded rates
+	hopsBuf      []float64     // per flow: expanded expected hops
+	capEff       []float64     // per arc: pooled effective capacity
+	primaryLoad  []float64     // per arc: primary traffic of the round
+	fillLoad     []float64     // per arc: classFill working load
+	fillWeight   []int         // per arc: classFill unfrozen weight
+	activeArcs   []int32       // classFill: arcs carrying unfrozen weight
+	satSlack     []float64     // per arc: classFill saturation tolerance
+	satArcs      []int32       // classFill: arcs saturating at one event
+	classRate    []float64     // per class: fill result / feasible rate
+	classFrozen  []bool        // per class: classFill freeze marks
+	classCut     []float64     // per class: feasibility cut of the pass
+	classExtra   []float64     // per class: expected extra (detour) hops
+	classHopsExp []float64     // per class: expected hops incl. detours
+	cands        congestedList // saturated-arc candidates of a round
+	grantRecs    []grantRec    // detour grants of the current plan
+
+	// Completion-heap state (heap.go): the event loop finds the next
+	// completion by popping a lazily invalidated min-heap of projected
+	// per-class finish times instead of scanning every active flow.
+	cheap         completionHeap
+	cseq          uint64    // push sequence, the deterministic tiebreak
+	classGen      []uint32  // per class: generation of the live heap entry
+	prevClassRate []float64 // per class: rate of the previous epoch
+	classDirty    []bool    // per class: queued in dirtyClasses
+	dirtyClasses  []int32   // classes whose heap entry must be refreshed
+	candScratch   []completionEntry
+	classMoved    []float64 // per class: bits moved this epoch
+	classMovedHop []float64 // per class: hop-weighted bits this epoch
+	finishScratch []int32   // slots finishing this epoch
+
+	// Admission scratch, reused across admit() calls.
+	arcScratch []topo.Arc
+	idxScratch []int32
 
 	satBits    float64 // Σ allocated rate × dt (demand-capped runs)
 	demandBits float64 // Σ demanded rate × dt
@@ -255,6 +302,7 @@ func (r *runner) init() {
 	r.extraWeighted = make([]float64, r.nArcs)
 	r.arcBusy = make([]float64, r.nArcs)
 	r.classOf = make(map[string]int32)
+	r.classBySrcDst = make(map[uint64]int32)
 	r.arcClasses = make([][]int32, r.nArcs)
 	r.capEff = make([]float64, r.nArcs)
 	r.primaryLoad = make([]float64, r.nArcs)
@@ -316,43 +364,96 @@ func (r *runner) pathFor(f workload.Flow) route.Path {
 	}
 }
 
-func (r *runner) admit(f workload.Flow, now float64) error {
+// allocSlot returns a free flow slot, growing the arrays on demand.
+func (r *runner) allocSlot() int32 {
+	if n := len(r.freeSlots); n > 0 {
+		s := r.freeSlots[n-1]
+		r.freeSlots = r.freeSlots[:n-1]
+		return s
+	}
+	r.slotID = append(r.slotID, 0)
+	r.slotClass = append(r.slotClass, 0)
+	r.slotArrival = append(r.slotArrival, 0)
+	r.slotRem = append(r.slotRem, 0)
+	r.slotSize = append(r.slotSize, 0)
+	r.slotDeliv = append(r.slotDeliv, 0)
+	r.slotHopBits = append(r.slotHopBits, 0)
+	return int32(len(r.slotID) - 1)
+}
+
+// classForFlow resolves a new flow's class. SP and INRP primaries are
+// deterministic per (src, dst), so the resolved class index is cached
+// and repeat admissions skip routing — and its path allocation —
+// entirely; ECMP paths depend on the flow-ID hash and are routed per
+// flow.
+func (r *runner) classForFlow(f workload.Flow) (int32, error) {
+	key := uint64(uint32(f.Src))<<32 | uint64(uint32(f.Dst))
+	if r.cfg.Policy != ECMP {
+		if c, ok := r.classBySrcDst[key]; ok {
+			return c, nil
+		}
+	}
 	p := r.pathFor(f)
 	if p == nil {
-		return fmt.Errorf("flowsim: flow %d: no path %d→%d", f.ID, f.Src, f.Dst)
+		return 0, fmt.Errorf("flowsim: flow %d: no path %d→%d", f.ID, f.Src, f.Dst)
 	}
-	arcs, err := p.Arcs(r.g)
+	arcs, err := p.ArcsAppend(r.g, r.arcScratch[:0])
+	r.arcScratch = arcs
+	if err != nil {
+		return 0, err
+	}
+	idx := r.idxScratch[:0]
+	for _, a := range arcs {
+		idx = append(idx, arcIndex(a))
+	}
+	r.idxScratch = idx
+	class := r.classFor(idx, float64(len(arcs)))
+	if r.cfg.Policy != ECMP {
+		r.classBySrcDst[key] = class
+	}
+	return class, nil
+}
+
+func (r *runner) admit(f workload.Flow, now float64) error {
+	class, err := r.classForFlow(f)
 	if err != nil {
 		return err
 	}
-	idx := make([]int32, len(arcs))
-	for i, a := range arcs {
-		idx[i] = arcIndex(a)
-	}
-	hops := float64(len(arcs))
-	class := r.classFor(idx, hops)
 	r.classes[class].weight++
-	r.active = append(r.active, &flowState{
-		id:        f.ID,
-		path:      p,
-		arcs:      idx,
-		class:     class,
-		hops:      hops,
-		arrival:   now,
-		remaining: f.Size.Bits(),
-		sizeBits:  f.Size.Bits(),
-	})
+	if r.classes[class].weight == 1 {
+		r.classPos[class] = int32(len(r.liveClasses))
+		r.liveClasses = append(r.liveClasses, class)
+	}
+	s := r.allocSlot()
+	r.slotID[s] = f.ID
+	r.slotClass[s] = class
+	r.slotArrival[s] = now
+	r.slotRem[s] = f.Size.Bits()
+	r.slotSize[s] = f.Size.Bits()
+	r.slotDeliv[s] = 0
+	r.slotHopBits[s] = 0
+	r.activeOrder = append(r.activeOrder, s)
+	r.memberPush(class, s)
+	r.markDirty(class)
 	r.res.Offered += f.Size
 	r.res.Total++
 	r.mAdmitted.Inc()
-	r.gActive.Set(int64(len(r.active)))
+	r.gActive.Set(int64(len(r.activeOrder)))
 	r.gClasses.Set(int64(len(r.classes)))
 	r.emitTrace("flow_admit", f.ID, now, f.Size.Bits())
 	return nil
 }
 
 // run is the fluid event loop: allocate, advance to the next event,
-// repeat.
+// repeat. Per event it costs O(active + classes): the earliest
+// completion comes from the lazily invalidated completion heap
+// (heap.go) instead of a per-flow scan, per-epoch drain deltas are
+// computed once per class, and completions pop off the per-class
+// member heaps rather than filtering the whole active set. The
+// per-flow application of the class deltas walks activeOrder so every
+// float accumulation chain (remaining, delivered, hopBits, arcBusy,
+// satBits) is identical to the retained scan loop — runRef in
+// equivalence_test.go — bit for bit.
 func (r *runner) run() (*Result, error) {
 	flows := r.cfg.Flows
 	next := 0
@@ -363,15 +464,16 @@ func (r *runner) run() (*Result, error) {
 	}
 
 	// Admit flows arriving at t=0 (or the first batch).
-	for next < len(flows) && flows[next].Arrival.Seconds() <= now {
+	for next < len(flows) && flows[next].Arrival.Seconds() <= now+arrivalSlack {
 		if err := r.admit(flows[next], now); err != nil {
 			return nil, err
 		}
 		next++
 	}
 
-	for now < horizon && (len(r.active) > 0 || next < len(flows)) {
-		rates, hopsExp := r.allocate()
+	for now < horizon && (len(r.activeOrder) > 0 || next < len(flows)) {
+		classRate := r.allocateClasses()
+		r.refreshCompletions(now, classRate)
 
 		// Next event: first arrival or earliest completion.
 		tEvent := horizon
@@ -380,18 +482,13 @@ func (r *runner) run() (*Result, error) {
 				tEvent = ta
 			}
 		}
-		for i, f := range r.active {
-			if rates[i] <= 0 {
-				continue
-			}
-			tc := now + f.remaining/rates[i]
-			if tc < tEvent {
-				tEvent = tc
-			}
+		if tc := r.nextCompletion(now); tc < tEvent {
+			tEvent = tc
 		}
 		if math.IsInf(tEvent, 1) || tEvent <= now {
-			// Nothing can progress (all rates zero, no arrivals): jump to
-			// the next arrival or stop.
+			// Nothing can progress (all rates zero, no arrivals — or the
+			// earliest completion rounds to now): jump to the next arrival
+			// or stop.
 			if next < len(flows) {
 				tEvent = flows[next].Arrival.Seconds()
 			} else {
@@ -400,45 +497,83 @@ func (r *runner) run() (*Result, error) {
 		}
 		dt := tEvent - now
 
-		// Advance flows and per-arc utilisation accounting.
-		for i, f := range r.active {
-			moved := rates[i] * dt
-			if moved > f.remaining {
-				moved = f.remaining
+		// Per-class drain deltas of this epoch. Every unclamped member of
+		// a class receives the identical moved/hop-weighted increments, so
+		// both multiplications happen once per class, not once per flow.
+		for _, c := range r.liveClasses {
+			m := classRate[c] * dt
+			r.classMoved[c] = m
+			r.classMovedHop[c] = m * r.classHopsExp[c]
+		}
+
+		// Advance flows and per-arc utilisation accounting. The arcBusy
+		// and satBits accumulators stay per-flow in admission order — the
+		// golden fixtures pin their full-precision values, and float
+		// addition is order-sensitive — but all operands are the shared
+		// class deltas above.
+		finishers := r.finishScratch[:0]
+		for _, s := range r.activeOrder {
+			c := r.slotClass[s]
+			moved := r.classMoved[c]
+			rem := r.slotRem[s]
+			if moved == 0 {
+				if rem <= finishEps {
+					finishers = append(finishers, s)
+				}
+				continue
 			}
-			f.remaining -= moved
-			f.delivered += moved
-			f.hopBits += moved * hopsExp[i]
-			for _, a := range f.arcs {
+			if moved > rem {
+				moved = rem
+				r.slotHopBits[s] += moved * r.classHopsExp[c]
+			} else {
+				r.slotHopBits[s] += r.classMovedHop[c]
+			}
+			r.slotRem[s] = rem - moved
+			r.slotDeliv[s] += moved
+			for _, a := range r.classes[c].arcs {
 				r.arcBusy[a] += moved
 			}
 			r.satBits += moved
+			if r.slotRem[s] <= finishEps {
+				finishers = append(finishers, s)
+			}
 		}
 		if r.cfg.DemandCap > 0 {
-			r.demandBits += float64(r.cfg.DemandCap) * float64(len(r.active)) * dt
+			r.demandBits += float64(r.cfg.DemandCap) * float64(len(r.activeOrder)) * dt
 		}
 		if r.cfg.Policy == INRP {
 			r.detourBits += r.detourRate * dt
 		}
 		now = tEvent
 
-		// Completions.
-		kept := r.active[:0]
-		for _, f := range r.active {
-			if f.remaining <= 1e-3 { // sub-millibit residue: done
-				r.finish(f, now)
-				continue
+		// Completions: each finisher is, by the uniform-drain order
+		// invariant, at the front of its class member heap — pop it,
+		// invalidate the class's projected completion, and account the
+		// flow in admission order (the order finishers were collected).
+		if len(finishers) > 0 {
+			for _, s := range finishers {
+				c := r.slotClass[s]
+				r.memberPop(c)
+				r.markDirty(c)
+				r.finishSlot(s, now)
 			}
-			kept = append(kept, f)
+			kept := r.activeOrder[:0]
+			for _, s := range r.activeOrder {
+				if r.slotRem[s] <= finishEps {
+					continue
+				}
+				kept = append(kept, s)
+			}
+			r.activeOrder = kept
 		}
-		r.active = kept
-		r.gActive.Set(int64(len(r.active)))
+		r.finishScratch = finishers[:0]
+		r.gActive.Set(int64(len(r.activeOrder)))
 		if r.sActive != nil {
-			r.sActive.Sample(time.Duration(now*float64(time.Second)), float64(len(r.active)))
+			r.sActive.Sample(time.Duration(now*float64(time.Second)), float64(len(r.activeOrder)))
 		}
 
 		// Arrivals at the new time.
-		for next < len(flows) && flows[next].Arrival.Seconds() <= now+1e-12 {
+		for next < len(flows) && flows[next].Arrival.Seconds() <= now+arrivalSlack {
 			if err := r.admit(flows[next], now); err != nil {
 				return nil, err
 			}
@@ -447,28 +582,47 @@ func (r *runner) run() (*Result, error) {
 	}
 
 	// Horizon reached: account bytes moved by still-active flows.
-	for _, f := range r.active {
-		r.res.Delivered += units.ByteSize(f.delivered / 8)
+	for _, s := range r.activeOrder {
+		r.res.Delivered += units.ByteSize(r.slotDeliv[s] / 8)
 	}
 	r.finalize(now)
 	return &r.res, nil
 }
 
-func (r *runner) finish(f *flowState, now float64) {
-	r.classes[f.class].weight--
+// finishSlot retires one completed flow: class weight, result counters,
+// FCT/stretch samples, trace — and returns the slot to the free list.
+// Member-heap maintenance is the caller's job (the event loop pops the
+// class front; test drivers finishing arbitrary flows skip it).
+func (r *runner) finishSlot(s int32, now float64) {
+	c := r.slotClass[s]
+	r.classes[c].weight--
+	if r.classes[c].weight == 0 {
+		// The class dies: drop it from the live list (swap-remove) and
+		// restore the dead-class invariant the allocator's freeze sweeps
+		// rely on — frozen, rate zero.
+		p := r.classPos[c]
+		last := r.liveClasses[len(r.liveClasses)-1]
+		r.liveClasses[p] = last
+		r.classPos[last] = p
+		r.liveClasses = r.liveClasses[:len(r.liveClasses)-1]
+		r.classPos[c] = -1
+		r.classFrozen[c] = true
+		r.classRate[c] = 0
+	}
 	r.res.Completed++
-	r.res.Delivered += units.ByteSize(f.delivered / 8)
-	fct := now - f.arrival
+	r.res.Delivered += units.ByteSize(r.slotDeliv[s] / 8)
+	fct := now - r.slotArrival[s]
 	if fct <= 0 {
 		fct = 1e-9
 	}
 	r.res.FCTSeconds.Add(fct)
 	r.mFinished.Inc()
-	r.emitTrace("flow_finish", f.id, now, fct)
-	r.res.MeanRates = append(r.res.MeanRates, f.sizeBits/fct)
-	if f.hops > 0 && f.delivered > 0 {
-		r.res.Stretch = append(r.res.Stretch, f.hopBits/(f.delivered*f.hops))
+	r.emitTrace("flow_finish", r.slotID[s], now, fct)
+	r.res.MeanRates = append(r.res.MeanRates, r.slotSize[s]/fct)
+	if hops := r.classes[c].hops; hops > 0 && r.slotDeliv[s] > 0 {
+		r.res.Stretch = append(r.res.Stretch, r.slotHopBits[s]/(r.slotDeliv[s]*hops))
 	}
+	r.freeSlots = append(r.freeSlots, s)
 }
 
 func (r *runner) finalize(now float64) {

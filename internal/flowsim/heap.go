@@ -1,0 +1,268 @@
+package flowsim
+
+import "math"
+
+// Completion tracking for the event loop. The scan-based loop found the
+// next event by projecting a completion time for every active flow,
+// every epoch. Flow classes make that redundant twice over: all members
+// of a class drain at one shared rate, so the class's earliest finisher
+// is simply its member with the least remaining bits; and a class's
+// projection only changes when its rate changes or its front member
+// changes. The machinery here exploits both:
+//
+//   - each flowClass keeps a min-heap of its member slots ordered by
+//     remaining bits (memberPush/memberPop). Uniform drains are a
+//     monotone map on remaining — see the invariant note on
+//     flowClass.members — so advancement never reorders the heap;
+//   - a global min-heap of completionEntry projections, one live entry
+//     per class, ordered by (projected time, push sequence). Entries
+//     are invalidated lazily by generation number, the same trick the
+//     internal/des kernel uses for its Timers: whenever a class's rate
+//     or front member changes (markDirty), flushDirty bumps
+//     classGen[c] — orphaning every entry pushed for the class — and
+//     pushes one fresh entry. Stale entries are skipped when popped.
+//
+// Exactness: the event loop must produce the very float64 the per-flow
+// scan would have (goldens pin downstream bytes). A heap key is the
+// projection fl(now + fl(rem/rate)) at push time; while the class
+// stays clean the exact projection is constant, but the float one
+// drifts by an ulp-sized error per epoch as remaining drains. So keys
+// are treated as approximations: nextCompletion pops every entry whose
+// key is within completionSlack of the best candidate, recomputes each
+// candidate's projection exactly from the current front remaining, and
+// reinserts refreshed entries. The slack (1e-7 relative) exceeds the
+// accumulated drift (≤ epochs × 2⁻⁵² relative, ~1e-9 for the ~1e6-epoch
+// runs this simulator targets) by orders of magnitude, and every
+// recomputation — plus the periodic rebuildCompletions sweep — resets
+// the drift clock, so the exact minimum always survives the margin.
+
+// completionEntry is one projected class completion in the heap.
+type completionEntry struct {
+	tc    float64 // projected completion time (seconds), approximate
+	seq   uint64  // push sequence: deterministic tiebreak, FIFO on ties
+	class int32
+	gen   uint32 // live iff == classGen[class]
+}
+
+// completionHeap is a hand-rolled binary min-heap ordered by (tc, seq).
+type completionHeap []completionEntry
+
+func (h completionHeap) less(i, j int) bool {
+	if h[i].tc != h[j].tc {
+		return h[i].tc < h[j].tc
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *completionHeap) push(e completionEntry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *completionHeap) pop() completionEntry {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	*h = q[:last]
+	q = q[:last]
+	q.siftDown(0)
+	return top
+}
+
+func (h completionHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// memberPush inserts a flow slot into its class's member heap, keyed by
+// remaining bits.
+func (r *runner) memberPush(c, s int32) {
+	cl := &r.classes[c]
+	cl.members = append(cl.members, s)
+	m := cl.members
+	rem := r.slotRem
+	i := len(m) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if rem[m[i]] >= rem[m[parent]] {
+			break
+		}
+		m[i], m[parent] = m[parent], m[i]
+		i = parent
+	}
+}
+
+// memberPop removes and returns the class's front member — the slot
+// with the least remaining bits.
+func (r *runner) memberPop(c int32) int32 {
+	cl := &r.classes[c]
+	m := cl.members
+	rem := r.slotRem
+	top := m[0]
+	last := len(m) - 1
+	m[0] = m[last]
+	m = m[:last]
+	cl.members = m
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		min := i
+		if l < last && rem[m[l]] < rem[m[min]] {
+			min = l
+		}
+		if rt < last && rem[m[rt]] < rem[m[min]] {
+			min = rt
+		}
+		if min == i {
+			return top
+		}
+		m[i], m[min] = m[min], m[i]
+		i = min
+	}
+}
+
+// markDirty queues a class for completion-entry refresh: its rate, its
+// membership, or its front member changed.
+func (r *runner) markDirty(c int32) {
+	if r.classDirty[c] {
+		return
+	}
+	r.classDirty[c] = true
+	r.dirtyClasses = append(r.dirtyClasses, c)
+}
+
+// refreshCompletions diffs the freshly computed class rates against the
+// previous epoch's, marks changed classes dirty, and flushes the dirty
+// set into the completion heap. Called once per event, right after
+// allocation, so nextCompletion always sees one live entry for every
+// class that can complete.
+func (r *runner) refreshCompletions(now float64, classRate []float64) {
+	for _, c := range r.liveClasses {
+		if rate := classRate[c]; rate != r.prevClassRate[c] {
+			r.prevClassRate[c] = rate
+			r.markDirty(c)
+		}
+	}
+	r.flushDirty(now)
+}
+
+// flushDirty bumps each dirty class's generation — invalidating its old
+// heap entries — and pushes one fresh projection for every dirty class
+// that can still complete (live members, positive rate).
+func (r *runner) flushDirty(now float64) {
+	if len(r.dirtyClasses) == 0 {
+		return
+	}
+	if len(r.cheap) > 4*len(r.classes)+64 {
+		r.rebuildCompletions(now)
+	}
+	for _, c := range r.dirtyClasses {
+		r.classDirty[c] = false
+		r.classGen[c]++
+		cl := &r.classes[c]
+		if cl.weight == 0 || len(cl.members) == 0 {
+			continue
+		}
+		rate := r.classRate[c]
+		if rate <= 0 {
+			continue
+		}
+		r.cheap.push(completionEntry{
+			tc:    now + r.slotRem[cl.members[0]]/rate,
+			seq:   r.cseq,
+			class: c,
+			gen:   r.classGen[c],
+		})
+		r.cseq++
+	}
+	r.dirtyClasses = r.dirtyClasses[:0]
+}
+
+// rebuildCompletions compacts the heap in place: stale entries are
+// dropped, live ones get their keys recomputed from current state
+// (resetting accumulated float drift) and are re-heapified.
+func (r *runner) rebuildCompletions(now float64) {
+	live := r.cheap[:0]
+	for _, e := range r.cheap {
+		if e.gen != r.classGen[e.class] {
+			continue
+		}
+		cl := &r.classes[e.class]
+		if cl.weight == 0 || len(cl.members) == 0 || r.classRate[e.class] <= 0 {
+			continue
+		}
+		e.tc = now + r.slotRem[cl.members[0]]/r.classRate[e.class]
+		live = append(live, e)
+	}
+	r.cheap = live
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		live.siftDown(i)
+	}
+}
+
+// completionSlack bounds how far a heap key may have drifted from the
+// exact projection it approximates (see the package comment above):
+// candidates within this margin of the best are recomputed exactly.
+func completionSlack(tc float64) float64 {
+	return 1e-7*math.Abs(tc) + 1e-9
+}
+
+// nextCompletion returns the earliest projected completion time — the
+// exact float64 minimum the per-flow scan would compute, i.e. the min
+// over classes of fl(now + fl(frontRemaining/rate)) — or +Inf when no
+// active class can complete. Stale entries reaching the top are
+// discarded; every live entry within the drift margin of the best is
+// popped, recomputed exactly, and reinserted with a refreshed key.
+func (r *runner) nextCompletion(now float64) float64 {
+	best := math.Inf(1)
+	cand := r.candScratch[:0]
+	for len(r.cheap) > 0 {
+		top := r.cheap[0]
+		if top.gen != r.classGen[top.class] {
+			r.cheap.pop()
+			continue
+		}
+		if top.tc > best+completionSlack(best) {
+			break
+		}
+		r.cheap.pop()
+		cl := &r.classes[top.class]
+		tc := now + r.slotRem[cl.members[0]]/r.classRate[top.class]
+		if tc < best {
+			best = tc
+		}
+		top.tc = tc
+		cand = append(cand, top)
+	}
+	for _, e := range cand {
+		e.seq = r.cseq
+		r.cseq++
+		r.cheap.push(e)
+	}
+	r.candScratch = cand[:0]
+	return best
+}

@@ -56,6 +56,21 @@ func (p Path) Arcs(g *topo.Graph) ([]topo.Arc, error) {
 	return out, nil
 }
 
+// ArcsAppend resolves the path to directed arcs like Arcs, appending
+// them to buf and returning the extended slice. Passing a reused buffer
+// keeps per-call allocation at zero once the buffer has grown to the
+// longest path seen.
+func (p Path) ArcsAppend(g *topo.Graph, buf []topo.Arc) ([]topo.Arc, error) {
+	for i := 0; i+1 < len(p); i++ {
+		l, ok := g.LinkBetween(p[i], p[i+1])
+		if !ok {
+			return buf, fmt.Errorf("route: path step %d: no link %d-%d", i, p[i], p[i+1])
+		}
+		buf = append(buf, topo.Arc{Link: l.ID, Dir: l.DirectionFrom(p[i])})
+	}
+	return buf, nil
+}
+
 // Delay sums the one-way propagation delays along the path.
 func (p Path) Delay(g *topo.Graph) (time.Duration, error) {
 	links, err := p.Links(g)
