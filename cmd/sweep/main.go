@@ -55,6 +55,24 @@
 // Every host must pass the same flags; the resulting checkpoints merge
 // exactly like hash-partitioned ones.
 //
+// The sweep service replaces static shards with lease-based work
+// stealing (see internal/sweepd): -mode serve starts a coordinator on
+// -listen that expands the grid once, leases batches of -batch scenarios
+// with a -lease-ttl heartbeat-renewed TTL, persists every result to its
+// -checkpoint (always resuming from it at startup), and renders the
+// final table itself; -mode work starts a thin worker against
+// -coordinator URL. Both sides pick the grid family with -grid flow|chunk
+// and must be given identical grid flags — the configuration label is
+// verified on every lease and submission:
+//
+//	host0$ sweep -mode serve -grid chunk -checkpoint grid.jsonl -listen :8377
+//	hostA$ sweep -mode work -grid chunk -coordinator http://host0:8377
+//	hostB$ sweep -mode work -grid chunk -coordinator http://host0:8377
+//
+// Output is byte-identical to the single-host run at any worker count,
+// lease order or re-lease history; the coordinator's mux also serves
+// GET /state, /aggregate, /percentile, /metrics and /snapshot.
+//
 // Every run is instrumented through internal/obs. -metrics ADDR serves
 // live snapshots of the shared registry over HTTP while the sweep runs
 // (GET /metrics for Prometheus text format, GET /snapshot for JSON;
@@ -102,7 +120,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "flow", "grid mode: flow|chunk")
+	mode := flag.String("mode", "flow", "grid mode (flow|chunk) or service mode (serve|work; pick the grid with -grid)")
 	replicas := flag.Int("replicas", 3, "seed replicas per grid point")
 	seed := flag.Int64("seed", 1, "master sweep seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -127,6 +145,16 @@ func main() {
 	mergeList := flag.String("merge", "", "merge shard checkpoint files (comma-separated JSONL paths) instead of running")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+	// Sweep-service flags (-mode serve|work).
+	gridFlag := flag.String("grid", "flow", "serve/work: grid family to expand (flow|chunk); the grid axes flags apply as usual")
+	listenAddr := flag.String("listen", "127.0.0.1:8377", "serve: coordinator listen address (lease protocol + /state /aggregate /metrics)")
+	coordURL := flag.String("coordinator", "", "work: coordinator base URL (e.g. http://host:8377)")
+	batch := flag.Int("batch", 0, "serve: scenarios per lease (0 = 8); work: cap on scenarios per lease request")
+	leaseTTL := flag.Duration("lease-ttl", 0, "serve: lease time-to-live between heartbeats; expired leases re-queue (0 = 1m)")
+	pollEvery := flag.Duration("poll", 0, "work: poll interval when the coordinator has no leasable work or is unreachable (0 = 500ms)")
+	patience := flag.Duration("patience", 0, "work: give up after the coordinator has been unreachable this long (0 = 2m)")
+	workerName := flag.String("worker-name", "", "work: worker name in coordinator logs and /state (default host-pid)")
 
 	// Flow-mode axes and workload shape.
 	ispList := flag.String("isps", string(topo.Tiscali), "flow: comma-separated ISP topologies")
@@ -192,12 +220,23 @@ func main() {
 		go srv.Serve(ln) //nolint:errcheck — dies with the process
 	}
 
+	// In the service modes the scenario grid is picked by -grid; the
+	// classic modes are themselves the grid name.
+	gridMode := *mode
+	switch *mode {
+	case "serve", "work":
+		gridMode = *gridFlag
+	case "flow", "chunk":
+	default:
+		fatal(fmt.Errorf("unknown mode %q (known: flow, chunk, serve, work)", *mode))
+	}
+
 	var (
 		scenarios []sweep.Scenario
 		label     string
 		costFn    sweep.CostFunc
 	)
-	switch *mode {
+	switch gridMode {
 	case "flow":
 		if *horizon == 0 {
 			*horizon = 8 * time.Second
@@ -234,7 +273,7 @@ func main() {
 			return chunksPer * float64(transfers)
 		}
 	default:
-		fatal(fmt.Errorf("unknown mode %q (known: flow, chunk)", *mode))
+		fatal(fmt.Errorf("unknown grid %q (known: flow, chunk)", gridMode))
 	}
 
 	var shard sweep.Shard
@@ -267,10 +306,52 @@ func main() {
 	if *sketchEps < 0 || *sketchEps >= 0.5 {
 		fatal(fmt.Errorf("-sketch-eps %g out of range [0, 0.5): every answer would be vacuous", *sketchEps))
 	}
+	aggConfig := sweep.AccumulatorConfig{Mode: aggMode, Eps: *sketchEps, SampleBudget: *aggBudget}
 	newAccumulator := func() *sweep.Accumulator {
-		return sweep.NewAccumulator(sweep.AccumulatorConfig{
-			Mode: aggMode, Eps: *sketchEps, SampleBudget: *aggBudget,
-		}, scenarios)
+		return sweep.NewAccumulator(aggConfig, scenarios)
+	}
+
+	// Service modes hand off to internal/sweepd and exit: the coordinator
+	// owns the checkpoint (always resuming), the workers own nothing.
+	switch *mode {
+	case "serve":
+		if *shardStr != "" || *mergeList != "" || *resume {
+			fatal(fmt.Errorf("-mode serve cannot be combined with -shard, -merge or -resume (the coordinator always resumes from -checkpoint)"))
+		}
+		runServe(serveArgs{
+			listen:         *listenAddr,
+			checkpointPath: *checkpointPath,
+			batch:          *batch,
+			leaseTTL:       *leaseTTL,
+			label:          label,
+			scenarios:      scenarios,
+			agg:            aggConfig,
+			newAccumulator: newAccumulator,
+			format:         *format,
+			metricsList:    *metricsList,
+			tableTitle:     title(scenarios, *replicas, *seed, "", 1, 0),
+			linger:         *metricsLinger,
+			quiet:          *quiet,
+			reg:            reg,
+		})
+		return
+	case "work":
+		if *shardStr != "" || *mergeList != "" || *checkpointPath != "" || *resume {
+			fatal(fmt.Errorf("-mode work cannot be combined with -shard, -merge, -checkpoint or -resume (the coordinator owns the checkpoint)"))
+		}
+		runWork(workArgs{
+			coordinator: *coordURL,
+			name:        *workerName,
+			label:       label,
+			scenarios:   scenarios,
+			workers:     *workers,
+			max:         *batch,
+			poll:        *pollEvery,
+			patience:    *patience,
+			quiet:       *quiet,
+			reg:         reg,
+		})
+		return
 	}
 
 	// -merge: no scenario runs; stream the collected shard checkpoints

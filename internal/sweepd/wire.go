@@ -1,0 +1,131 @@
+package sweepd
+
+import (
+	"repro/internal/sweep"
+)
+
+// The wire protocol: three POST endpoints with JSON bodies. Scenario
+// identity travels as names — both sides expanded the same grid, so a
+// name resolves to the same (point, replica, seed) everywhere, and the
+// coordinator re-validates seeds on every submitted record exactly the
+// way a checkpoint load would.
+
+// LeaseRequest asks the coordinator for a batch of scenarios to run.
+type LeaseRequest struct {
+	// Worker identifies the requesting worker in logs, /state and
+	// metrics. Any non-empty string; not a capability.
+	Worker string `json:"worker"`
+	// Label is the worker's sweep configuration label. It must match the
+	// coordinator's, or the worker was started with different physics
+	// flags and its results would silently poison the grid.
+	Label string `json:"label"`
+	// Max bounds the batch size; 0 accepts the coordinator's default.
+	Max int `json:"max,omitempty"`
+}
+
+// LeaseResponse grants a batch, asks the worker to wait, or reports the
+// sweep complete.
+type LeaseResponse struct {
+	// Done reports the whole grid is finished; the worker should exit.
+	Done bool `json:"done,omitempty"`
+	// Wait reports nothing is leasable right now (every remaining
+	// scenario is out on another lease); poll again shortly.
+	Wait bool `json:"wait,omitempty"`
+	// LeaseID names the granted lease for heartbeats and submission.
+	LeaseID string `json:"lease_id,omitempty"`
+	// Scenarios are the granted scenario names, in scenario order.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// TTLMS is the lease's time-to-live in milliseconds; the worker must
+	// heartbeat well within it or the batch is re-leased.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+}
+
+// HeartbeatResponse reports whether the lease is still held. OK false
+// means the lease expired (or the coordinator restarted and never knew
+// it): the batch may already be re-leased, but the worker may still
+// submit — duplicates are deduplicated first-write-wins.
+type HeartbeatResponse struct {
+	OK    bool  `json:"ok"`
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+}
+
+// ScenarioFailure reports a scenario that ran and failed on a worker.
+// Failures are not checkpointed (exactly as a single-host sweep never
+// checkpoints errored scenarios) but the coordinator stops re-leasing
+// them: scenarios are deterministic, so a retry would fail identically.
+type ScenarioFailure struct {
+	Name  string `json:"name"`
+	Seed  int64  `json:"seed"`
+	Error string `json:"error"`
+}
+
+// SubmitRequest delivers a finished batch. Records is the standard
+// checkpoint-record shape, so the coordinator persists submissions
+// byte-for-byte as a single-host checkpointed run would have.
+//
+// A submission is valid or rejected as a whole: any record naming an
+// unknown scenario, disagreeing with its derived seed, or carried under
+// the wrong label rejects the entire request before anything is folded
+// or written, so a foreign worker cannot half-poison the checkpoint.
+// LeaseID is informational — an expired or unknown lease (coordinator
+// restart) does not invalidate correct records, it only means the batch
+// may also arrive from whoever stole it; first write wins.
+type SubmitRequest struct {
+	Worker  string                   `json:"worker"`
+	Label   string                   `json:"label"`
+	LeaseID string                   `json:"lease_id,omitempty"`
+	Records []sweep.CheckpointRecord `json:"records,omitempty"`
+	Failed  []ScenarioFailure        `json:"failed,omitempty"`
+}
+
+// SubmitResponse accounts for a submission: how many records were
+// accepted (first write), how many were duplicates of already-recorded
+// scenarios (re-leased batches, replays — dropped without touching the
+// checkpoint), and how many failures were registered.
+type SubmitResponse struct {
+	Accepted   int  `json:"accepted"`
+	Duplicates int  `json:"duplicates"`
+	Failures   int  `json:"failures"`
+	Done       bool `json:"done,omitempty"`
+}
+
+// StateResponse is GET /state: a live view of the coordinator.
+type StateResponse struct {
+	Label     string        `json:"label"`
+	Total     int           `json:"total"`
+	Done      int           `json:"done"`
+	Failed    int           `json:"failed"`
+	Pending   int           `json:"pending"`
+	Leased    int           `json:"leased"`
+	Complete  bool          `json:"complete"`
+	Leases    []LeaseState  `json:"leases,omitempty"`
+	Workers   []WorkerState `json:"workers,omitempty"`
+	ReLeased  int64         `json:"released_scenarios"`
+	UptimeSec float64       `json:"uptime_sec"`
+}
+
+// LeaseState is one outstanding lease in /state.
+type LeaseState struct {
+	ID        string  `json:"id"`
+	Worker    string  `json:"worker"`
+	Scenarios int     `json:"scenarios"`
+	ExpiresIn float64 `json:"expires_in_sec"`
+}
+
+// WorkerState is one worker's liveness row in /state.
+type WorkerState struct {
+	Name     string  `json:"name"`
+	LastSeen float64 `json:"last_seen_sec"`
+}
+
+// errorResponse is the JSON error body every endpoint returns on
+// rejection, so workers can surface the coordinator's reason verbatim.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,307 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// Worker loop defaults.
+const (
+	// DefaultPoll is the wait between polls when the coordinator has
+	// nothing leasable (or is unreachable).
+	DefaultPoll = 500 * time.Millisecond
+	// DefaultPatience bounds how long a worker tolerates a continuously
+	// unreachable coordinator before giving up — long enough to ride out
+	// a coordinator kill+resume, short enough that an orphaned worker
+	// fleet does not poll forever.
+	DefaultPatience = 2 * time.Minute
+)
+
+// WorkerConfig parameterises RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:8377).
+	Coordinator string
+	// Name identifies this worker in coordinator logs and /state.
+	Name string
+	// Label is the sweep configuration label; it must match the
+	// coordinator's or every lease request is rejected.
+	Label string
+	// Scenarios is the same expanded grid the coordinator holds — the
+	// worker resolves leased names against it and runs the RunFuncs.
+	Scenarios []sweep.Scenario
+	// Workers bounds the local pool a leased batch runs on (0 =
+	// GOMAXPROCS).
+	Workers int
+	// Max caps the scenarios per lease this worker requests (0 = accept
+	// the coordinator's batch default).
+	Max int
+	// Poll is the wait/unreachable backoff (0 = DefaultPoll).
+	Poll time.Duration
+	// Patience bounds continuous coordinator unreachability
+	// (0 = DefaultPatience).
+	Patience time.Duration
+	// Obs, when non-nil, instruments the worker (leases held, scenarios
+	// run, submit retries, heartbeats lost) and the simulators.
+	Obs *obs.Registry
+	// Log, when non-nil, receives one line per lease, submission and
+	// retry.
+	Log io.Writer
+	// Client overrides the HTTP client (tests); nil uses a default with
+	// a sane timeout.
+	Client *http.Client
+}
+
+// wireError is a coordinator rejection (HTTP 4xx/409): deliberate,
+// carrying the coordinator's reason — retrying cannot help, unlike a
+// network error or 5xx.
+type wireError struct {
+	status int
+	msg    string
+}
+
+func (e *wireError) Error() string {
+	return fmt.Sprintf("sweepd: coordinator rejected request (HTTP %d): %s", e.status, e.msg)
+}
+
+// fatal reports whether a request error is a deliberate rejection.
+func fatal(err error) bool {
+	var we *wireError
+	return errors.As(err, &we)
+}
+
+// RunWorker is the worker loop: lease → run → submit → repeat, until the
+// coordinator reports the grid complete (returns nil), ctx is cancelled,
+// the coordinator rejects the worker (label/grid mismatch — fatal), or
+// the coordinator stays unreachable past cfg.Patience. A lease is
+// heartbeat-renewed at TTL/3 while its batch runs; losing the lease
+// (expiry, coordinator restart) does not abort the batch — the results
+// are submitted anyway and deduplicated first-write-wins against
+// whichever worker stole it.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Coordinator == "" {
+		return errors.New("sweepd: worker needs a coordinator URL")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultPoll
+	}
+	if cfg.Patience <= 0 {
+		cfg.Patience = DefaultPatience
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	w := &worker{cfg: cfg, index: make(map[string]int, len(cfg.Scenarios))}
+	for i, sc := range cfg.Scenarios {
+		w.index[sc.Name] = i
+	}
+	w.mLeases = cfg.Obs.Counter("sweepd_worker_leases")
+	w.mRun = cfg.Obs.Counter("sweepd_worker_scenarios_run")
+	w.mRetries = cfg.Obs.Counter("sweepd_worker_retries")
+	w.mLost = cfg.Obs.Counter("sweepd_worker_heartbeats_lost")
+	return w.run(ctx)
+}
+
+type worker struct {
+	cfg   WorkerConfig
+	index map[string]int
+
+	mLeases, mRun, mRetries, mLost *obs.Counter
+}
+
+func (w *worker) logf(format string, args ...interface{}) {
+	if w.cfg.Log != nil {
+		fmt.Fprintf(w.cfg.Log, "sweepd worker %s: "+format+"\n", append([]interface{}{w.cfg.Name}, args...)...)
+	}
+}
+
+// sleep waits one poll interval or until ctx cancels.
+func (w *worker) sleep(ctx context.Context) error {
+	t := time.NewTimer(w.cfg.Poll)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (w *worker) run(ctx context.Context) error {
+	var unreachableSince time.Time
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease LeaseResponse
+		err := w.post("/lease", LeaseRequest{Worker: w.cfg.Name, Label: w.cfg.Label, Max: w.cfg.Max}, &lease)
+		if err != nil {
+			if fatal(err) {
+				return err
+			}
+			if unreachableSince.IsZero() {
+				unreachableSince = time.Now()
+			} else if time.Since(unreachableSince) > w.cfg.Patience {
+				return fmt.Errorf("sweepd: coordinator unreachable for %s: %w", w.cfg.Patience, err)
+			}
+			w.mRetries.Inc()
+			w.logf("coordinator unreachable (%v), retrying", err)
+			if serr := w.sleep(ctx); serr != nil {
+				return serr
+			}
+			continue
+		}
+		unreachableSince = time.Time{}
+
+		switch {
+		case lease.Done:
+			w.logf("grid complete, exiting")
+			return nil
+		case lease.Wait || len(lease.Scenarios) == 0:
+			if err := w.sleep(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+
+		if err := w.runLease(ctx, lease); err != nil {
+			return err
+		}
+	}
+}
+
+// runLease executes one leased batch and submits it.
+func (w *worker) runLease(ctx context.Context, lease LeaseResponse) error {
+	batch := make([]sweep.Scenario, 0, len(lease.Scenarios))
+	for _, name := range lease.Scenarios {
+		i, ok := w.index[name]
+		if !ok {
+			// The coordinator runs a different grid; results would be
+			// unusable either way, so fail loudly like a checkpoint
+			// mismatch does.
+			return fmt.Errorf("sweepd: leased scenario %q is not in this worker's grid (different flags?)", name)
+		}
+		batch = append(batch, w.cfg.Scenarios[i])
+	}
+	w.mLeases.Inc()
+	w.logf("lease %s (%d scenarios)", lease.LeaseID, len(batch))
+
+	// Heartbeat at TTL/3 while the batch runs. A lost lease is logged
+	// and counted but does not abort the run: the submission below is
+	// deduplicated against whoever stole the batch.
+	stop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		ttl := time.Duration(lease.TTLMS) * time.Millisecond
+		if ttl <= 0 {
+			return
+		}
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				var hb HeartbeatResponse
+				err := w.post("/heartbeat", HeartbeatRequest{Worker: w.cfg.Name, LeaseID: lease.LeaseID}, &hb)
+				if err == nil && !hb.OK {
+					w.mLost.Inc()
+					w.logf("lease %s lost (expired or coordinator restarted); finishing batch anyway", lease.LeaseID)
+				}
+			}
+		}
+	}()
+	runner := &sweep.Runner{Workers: w.cfg.Workers, Obs: w.cfg.Obs}
+	results := runner.Run(ctx, batch)
+	close(stop)
+	<-hbDone
+
+	req := SubmitRequest{Worker: w.cfg.Name, Label: w.cfg.Label, LeaseID: lease.LeaseID}
+	for _, res := range results {
+		switch {
+		case res.Err == nil:
+			req.Records = append(req.Records, sweep.CheckpointRecord{
+				Name: res.Name, Point: res.Point, Replica: res.Replica, Seed: res.Seed,
+				Values: res.Metrics.Values, Samples: res.Metrics.Samples,
+			})
+			w.mRun.Inc()
+		case errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded):
+			// Never report a cancellation as a scenario failure: the
+			// scenario did not run. The lease expires and someone else
+			// (or this worker, restarted) picks it up.
+		default:
+			req.Failed = append(req.Failed, ScenarioFailure{Name: res.Name, Seed: res.Seed, Error: res.Err.Error()})
+		}
+	}
+	if len(req.Records) == 0 && len(req.Failed) == 0 {
+		return ctx.Err()
+	}
+
+	// Submit with retries: the results in hand are real work — ride out
+	// a coordinator restart rather than dropping them (dedup makes the
+	// retry safe even if an earlier attempt landed).
+	deadline := time.Now().Add(w.cfg.Patience)
+	for {
+		var resp SubmitResponse
+		err := w.post("/submit", req, &resp)
+		if err == nil {
+			w.logf("submitted %s: %d accepted, %d duplicate, %d failed",
+				lease.LeaseID, resp.Accepted, resp.Duplicates, resp.Failures)
+			return ctx.Err()
+		}
+		if fatal(err) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sweepd: could not submit batch for %s: %w", w.cfg.Patience, err)
+		}
+		w.mRetries.Inc()
+		w.logf("submit failed (%v), retrying", err)
+		if serr := w.sleep(ctx); serr != nil {
+			return serr
+		}
+	}
+}
+
+// post sends one wire request and decodes the response. Non-2xx statuses
+// below 500 become fatal wireErrors carrying the coordinator's reason;
+// network errors and 5xx are returned as-is (retryable).
+func (w *worker) post(path string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpResp, err := w.cfg.Client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+	if httpResp.StatusCode/100 != 2 {
+		var er errorResponse
+		msg := string(bytes.TrimSpace(data))
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		if httpResp.StatusCode/100 == 4 {
+			return &wireError{status: httpResp.StatusCode, msg: msg}
+		}
+		return fmt.Errorf("sweepd: coordinator HTTP %d: %s", httpResp.StatusCode, msg)
+	}
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, resp)
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/route"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/sweepd"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -115,6 +116,19 @@ type (
 	// QuantileSketch is a mergeable bounded ε-approximate quantile summary
 	// (Greenwald–Khanna).
 	QuantileSketch = stats.GKSketch
+
+	// SweepCoordinator pools worker capacity behind lease-based work
+	// stealing: it holds one expanded grid, leases scenario batches over
+	// HTTP with TTL + heartbeat renewal, deduplicates re-leased
+	// submissions first-write-wins, checkpoints every result, and folds a
+	// completed grid byte-identically to a single-host run.
+	SweepCoordinator = sweepd.Coordinator
+	// SweepCoordinatorConfig parameterises NewSweepCoordinator.
+	SweepCoordinatorConfig = sweepd.Config
+	// SweepWorkerConfig parameterises RunSweepWorker: the coordinator URL
+	// plus the same expanded grid and configuration label the coordinator
+	// holds.
+	SweepWorkerConfig = sweepd.WorkerConfig
 
 	// ObsRegistry is a named registry of allocation-conscious simulation
 	// metrics (counters, gauges, histograms, sim-time samplers). A nil
@@ -329,6 +343,20 @@ func MergeSweepCheckpointsInto(acc *SweepAccumulator, label string, scenarios []
 // NewQuantileSketch returns an empty mergeable quantile sketch with the
 // given rank-error fraction (eps ≤ 0 selects the 1% default).
 func NewQuantileSketch(eps float64) *QuantileSketch { return stats.NewGKSketch(eps) }
+
+// NewSweepCoordinator opens (or resumes) the coordinator's checkpoint
+// and returns a sweep-service coordinator ready to lease the grid; serve
+// its Handler over HTTP and FoldInto an accumulator once Complete.
+func NewSweepCoordinator(cfg SweepCoordinatorConfig) (*SweepCoordinator, error) {
+	return sweepd.NewCoordinator(cfg)
+}
+
+// RunSweepWorker loops lease → run → submit against a sweep-service
+// coordinator until the grid completes (nil), ctx cancels, or the
+// coordinator rejects the worker's configuration.
+func RunSweepWorker(ctx context.Context, cfg SweepWorkerConfig) error {
+	return sweepd.RunWorker(ctx, cfg)
+}
 
 // NewObsRegistry returns an empty named metrics registry. Instruments
 // are created on first use and harvested with Snapshot.

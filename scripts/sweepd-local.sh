@@ -1,0 +1,110 @@
+#!/bin/sh
+# sweepd-local.sh — local rehearsal of the sweep service: one coordinator
+# plus N worker processes (stand-ins for N machines) drain a grid over
+# the lease protocol, and the coordinator's rendered output is verified
+# byte-identical to an unsharded single-process run of the same grid.
+#
+# Usage:
+#
+#   scripts/sweepd-local.sh [workers] [flow|chunk] [cmd/sweep grid args...]
+#
+#   scripts/sweepd-local.sh 3 chunk -transports inrpp,aimd \
+#       -chunksize 100KB -chunks 5000 -replicas 2 -seed 7
+#
+# With no arguments, 3 workers drain a small built-in chunk grid. On
+# real machines, run "-mode serve" on one host and "-mode work" on the
+# others; see "Static shards vs the sweep service" in README.md.
+set -eu
+
+cd "$(dirname "$0")/.." || exit 1
+
+# The worker count is optional: consume $1 only when it is numeric, so
+# "sweepd-local.sh chunk ..." doesn't eat "chunk" as the count.
+case "${1:-}" in
+'' | *[!0-9]*) workers=3 ;;
+*)
+    workers="$1"
+    shift
+    ;;
+esac
+if [ "$#" -gt 0 ]; then
+    grid="$1"
+    shift
+else
+    grid=chunk
+fi
+if [ "$#" -eq 0 ]; then
+    set -- -transports inrpp,aimd -transfers 1,2 -chunksize 10KB \
+        -chunks 20000 -ingress 2Gbps -egress 1Gbps -buffer 1MB \
+        -horizon 2s -replicas 2 -seed 7
+fi
+
+workdir="$(mktemp -d)"
+pids=""
+cleanup() {
+    for p in $pids; do
+        kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building cmd/sweep" >&2
+go build -o "$workdir/sweep" ./cmd/sweep
+
+echo "==> unsharded reference run" >&2
+"$workdir/sweep" -q -mode "$grid" "$@" >"$workdir/unsharded.txt"
+
+echo "==> coordinator + $workers workers" >&2
+# The short linger keeps the done signal up long enough for every idle
+# worker's next poll, so they all exit cleanly.
+"$workdir/sweep" -q -mode serve -grid "$grid" "$@" \
+    -checkpoint "$workdir/coord.jsonl" -listen 127.0.0.1:0 \
+    -metrics-linger 2s \
+    >"$workdir/service.txt" 2>"$workdir/coord.log" &
+coord=$!
+pids="$coord"
+
+url=""
+for _ in $(seq 1 100); do
+    url="$(sed -n 's/.*coordinator listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$workdir/coord.log")"
+    [ -n "$url" ] && break
+    if ! kill -0 "$coord" 2>/dev/null; then
+        echo "sweepd-local: coordinator exited before listening; log:" >&2
+        cat "$workdir/coord.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$url" ]; then
+    echo "sweepd-local: no coordinator address on stderr" >&2
+    cat "$workdir/coord.log" >&2
+    exit 1
+fi
+
+wpids=""
+i=0
+while [ "$i" -lt "$workers" ]; do
+    "$workdir/sweep" -q -mode work -grid "$grid" "$@" \
+        -coordinator "$url" -worker-name "w$i" -poll 100ms \
+        2>"$workdir/w$i.log" &
+    wpids="$wpids $!"
+    pids="$pids $!"
+    i=$((i + 1))
+done
+
+# The coordinator exits once the grid completes and it has rendered;
+# the workers exit on its done signal.
+wait "$coord"
+for p in $wpids; do
+    wait "$p"
+done
+pids=""
+
+if cmp -s "$workdir/unsharded.txt" "$workdir/service.txt"; then
+    echo "OK: sweep-service output of $workers workers is byte-identical to the unsharded run"
+else
+    echo "FAIL: sweep-service output differs from the unsharded run" >&2
+    diff "$workdir/unsharded.txt" "$workdir/service.txt" >&2 || true
+    exit 1
+fi
