@@ -368,6 +368,35 @@ func BenchmarkChunknetFanIn(b *testing.B) {
 	b.ReportMetric(float64(delivered), "chunks")
 }
 
+// BenchmarkChunknetDetour drives the Fig. 3 triangle hard enough that the
+// direct arc saturates and pickDetour runs on the forwarding hot path for
+// a large share of chunks. ReportAllocs gates the detour search's
+// allocation churn: candidate filtering must reuse the sim-level scratch
+// slice instead of allocating per call.
+func BenchmarkChunknetDetour(b *testing.B) {
+	var detoured int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := topo.Fig3()
+		s, err := chunknet.New(chunknet.Config{
+			Graph: g, Transport: chunknet.INRPP,
+			ChunkSize: 10 * units.KB, Anticipation: 64,
+			CustodyBytes: 50 * units.MB, InitialRequestRate: 10 * units.Mbps,
+			Ti:      5 * time.Millisecond,
+			Planner: core.PlannerConfig{Mode: core.CapacityAware, ExtraHop: true, MaxCandidates: 8},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddTransfer(chunknet.Transfer{ID: 1, Src: 0, Dst: 2, Chunks: 1200}); err != nil {
+			b.Fatal(err)
+		}
+		rep := s.Run(20 * time.Second)
+		detoured = rep.ChunksDetoured
+	}
+	b.ReportMetric(float64(detoured), "detoured")
+}
+
 // scaledWorkload builds a deterministic gravity workload whose arrivals
 // span ≈4s of virtual time at any count, so thousands of flows are
 // concurrently active within a short horizon.

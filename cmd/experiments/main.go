@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|fig4a|fig4b|fig3|custody] [-seeds N]
-//	            [-horizon 15s] [-format table|csv] [-quick]
+//	experiments [-run all|table1|fig4a|fig4b|fig3|custody|disruption]
+//	            [-seeds N] [-horizon 15s] [-format table|csv] [-quick]
+//
+// disruption — the link-churn experiment (completion time vs outage rate
+// per transport) — runs only when named: its default scale sweeps 12 grid
+// cells × seeds at a 60s horizon. -quick shrinks it to seconds.
 package main
 
 import (
@@ -20,7 +24,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all|table1|fig4a|fig4b|fig3|custody")
+	run := flag.String("run", "all", "experiment to run: all|table1|fig4a|fig4b|fig3|custody|disruption (disruption only when named)")
 	seeds := flag.Int("seeds", 3, "workload seeds for fig4")
 	horizon := flag.Duration("horizon", 15*time.Second, "virtual horizon per fig4 run")
 	format := flag.String("format", "table", "output format: table|csv")
@@ -107,6 +111,32 @@ func main() {
 			fatal(err)
 		}
 		emit(experiments.CustodyReport(r))
+	}
+
+	if *run == "disruption" {
+		cfg := experiments.DisruptionConfig{Seeds: *seeds}
+		if *quick {
+			cfg = experiments.DisruptionConfig{
+				IngressRate: units.Gbps,
+				EgressRate:  200 * units.Mbps,
+				Custody:     50 * units.MB,
+				Buffer:      2 * units.MB,
+				ChunkSize:   100 * units.KB,
+				Chunks:      200,
+				Horizon:     2 * time.Second,
+				OutageUps: []time.Duration{
+					800 * time.Millisecond, 400 * time.Millisecond, 150 * time.Millisecond,
+				},
+				OutageDown: 100 * time.Millisecond,
+				Seeds:      2,
+			}
+		}
+		fmt.Println("running disruption (outage rate × transport × seeds on the churned custody chain)...")
+		r, err := experiments.Disruption(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.DisruptionReport(r))
 	}
 }
 

@@ -175,6 +175,10 @@ func main() {
 	chunkSizeStr := flag.String("chunksize", "10MB", "chunk: chunk size")
 	chunks := flag.Int64("chunks", 2000, "chunk: chunks per transfer")
 	bufferStr := flag.String("buffer", "25MB", "chunk: AIMD/ARC drop-tail buffer")
+	outageKindStr := flag.String("outage-kind", "none", "chunk: egress-link churn family: none|fixed|exp (none keeps the link always up)")
+	outageUpList := flag.String("outage-up", "2s", "chunk: comma-separated mean up-phase durations (outage-rate axis; active with -outage-kind)")
+	outageDownList := flag.String("outage-down", "500ms", "chunk: comma-separated mean down-phase durations (axis)")
+	outageDownRateStr := flag.String("outage-downrate", "", "chunk: link capacity while down (empty = hard outage: arc pauses, in-flight packets drop)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -262,11 +266,18 @@ func main() {
 			transports: *transportList, acs: *acList, custody: *custodyList,
 			transfers: *transfersList, ingress: *ingressStr, egress: *egressStr,
 			chunkSize: *chunkSizeStr, chunks: *chunks, buffer: *bufferStr,
+			outageKind: *outageKindStr, outageUps: *outageUpList,
+			outageDowns: *outageDownList, outageDownRate: *outageDownRateStr,
 			horizon: *horizon, seed: *seed, replicas: *replicas,
 			obs: reg, trace: simTrace,
 		})
 		label = fmt.Sprintf("chunk ingress=%s egress=%s chunksize=%s chunks=%d buffer=%s horizon=%s",
 			*ingressStr, *egressStr, *chunkSizeStr, *chunks, *bufferStr, *horizon)
+		// Churn-free labels keep their pre-outage bytes, so old checkpoints
+		// still resume and merge.
+		if kind := mustOutageKind(*outageKindStr); kind != topo.OutageNone {
+			label += fmt.Sprintf(" outage=%s downrate=%s", kind, *outageDownRateStr)
+		}
 		chunksPer := float64(*chunks)
 		costFn = func(sc sweep.Scenario) float64 {
 			transfers, _ := strconv.Atoi(sc.Point.Get("transfers"))
@@ -637,12 +648,23 @@ func flowScenarios(a flowArgs) []sweep.Scenario {
 type chunkArgs struct {
 	transports, acs, custody, transfers string
 	ingress, egress, chunkSize, buffer  string
+	outageKind, outageUps, outageDowns  string
+	outageDownRate                      string
 	chunks                              int64
 	horizon                             time.Duration
 	seed                                int64
 	replicas                            int
 	obs                                 *obs.Registry
 	trace                               *obs.Trace
+}
+
+// mustOutageKind parses -outage-kind or dies.
+func mustOutageKind(s string) topo.OutageKind {
+	kind, err := topo.ParseOutageKind(s)
+	if err != nil {
+		fatal(err)
+	}
+	return kind
 }
 
 // chunkScenarios expands the chunk-level grid over the custody bottleneck
@@ -688,13 +710,39 @@ func chunkScenarios(a chunkArgs) []sweep.Scenario {
 			fatal(fmt.Errorf("bad -transfers entry %q", n))
 		}
 	}
+	outageKind := mustOutageKind(a.outageKind)
+	var outageDownRate units.BitRate
+	if outageKind != topo.OutageNone {
+		for _, d := range append(split(a.outageUps), split(a.outageDowns)...) {
+			if _, err := time.ParseDuration(d); err != nil {
+				fatal(fmt.Errorf("bad outage duration %q: %w", d, err))
+			}
+		}
+		if a.outageDownRate != "" {
+			var err error
+			if outageDownRate, err = units.ParseBitRate(a.outageDownRate); err != nil {
+				fatal(fmt.Errorf("bad -outage-downrate: %w", err))
+			}
+		}
+	}
 
+	// The churn axes only exist when churn is on, so churn-free grids —
+	// their scenario names, seeds and output bytes — stay exactly as they
+	// were before outage support. Outage axes join the seed derivation:
+	// every transport/ac/custody cell replays the identical outage trace
+	// at each (up, down, transfers) point.
 	grid := sweep.NewGrid().
 		Axis("transport", transports...).
 		Axis("ac", split(a.acs)...).
 		Axis("custody", split(a.custody)...).
-		Axis("transfers", split(a.transfers)...).
-		SeedAxes("transfers")
+		Axis("transfers", split(a.transfers)...)
+	seedAxes := []string{"transfers"}
+	if outageKind != topo.OutageNone {
+		grid.Axis("outage_up", split(a.outageUps)...).
+			Axis("outage_down", split(a.outageDowns)...)
+		seedAxes = append(seedAxes, "outage_up", "outage_down")
+	}
+	grid.SeedAxes(seedAxes...)
 	scenarios := grid.Expand(a.seed, a.replicas,
 		func(pt sweep.Point, replica int, seed int64) sweep.RunFunc {
 			ac, _ := strconv.ParseInt(pt.Get("ac"), 10, 64)
@@ -714,6 +762,13 @@ func chunkScenarios(a chunkArgs) []sweep.Scenario {
 				Obs:          a.obs,
 				Trace:        a.trace,
 				TraceLabel:   sweep.ScenarioName(pt, replica),
+			}
+			if outageKind != topo.OutageNone {
+				up, _ := time.ParseDuration(pt.Get("outage_up"))
+				down, _ := time.ParseDuration(pt.Get("outage_down"))
+				spec.Outage = topo.OutageSpec{
+					Kind: outageKind, Up: up, Down: down, DownRate: outageDownRate,
+				}
 			}
 			return spec.Run(seed)
 		})

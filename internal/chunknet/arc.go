@@ -1,6 +1,7 @@
 package chunknet
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/cache"
@@ -93,12 +94,30 @@ type arcState struct {
 	bpNotified map[topo.NodeID]bool // neighbors notified
 	limited    bool                 // capRate reduced by an upstream notification
 
+	// Churn state (see churn.go). outage is the declared process; down /
+	// downSince track the current phase; churnRng is the arc's private
+	// seeded stream; churnFn is the transition callback bound once at
+	// startChurn. txDoomed and pipeDoomed mark in-flight packets caught
+	// on the wire by a hard failure: their scheduled completion/arrival
+	// events still fire, but dispose of the packet instead of advancing
+	// it.
+	outage     topo.OutageSpec
+	down       bool
+	downSince  time.Duration
+	churnRng   *rand.Rand
+	churnFn    func()
+	txDoomed   bool
+	pipeDoomed int
+
 	// Observability (set only when the sim is instrumented): name is the
 	// "from>to" arc label; the counters track serialised and detoured
-	// payload bytes. All stay nil on uninstrumented runs.
-	name         string
-	cTxBytes     *obs.Counter
-	cDetourBytes *obs.Counter
+	// payload bytes. All stay nil on uninstrumented runs (and the churn
+	// pair also on churn-free arcs).
+	name             string
+	cTxBytes         *obs.Counter
+	cDetourBytes     *obs.Counter
+	cDownTransitions *obs.Counter
+	hDownSeconds     *obs.Histogram
 }
 
 // newPacket takes a packet from the pool (all fields zero, rest empty
@@ -130,14 +149,15 @@ func (a *arcState) send(p *packet) bool {
 		a.kick()
 		return true
 	}
-	key := a.seqNo
-	a.seqNo++
-	if !a.store.Offer(key, p.size, now) {
+	// The key only advances on acceptance, keeping custody keys dense and
+	// the store/pktq mirror exact under drops.
+	if !a.store.Offer(a.seqNo, p.size, now) {
 		a.sim.rep.ChunksDropped++
 		a.sim.mDropped.Inc()
 		a.sim.emitTrace("chunk_drop", p.flow, a.name, p.seq, 0)
 		return false
 	}
+	a.seqNo++
 	a.pktq = append(a.pktq, p)
 	a.sim.emitTrace("custody_enter", p.flow, a.name, p.seq, a.occupancyFraction())
 	a.sim.checkBackpressure(a, p)
@@ -145,9 +165,11 @@ func (a *arcState) send(p *packet) bool {
 	return true
 }
 
-// kick starts the serializer if it is idle and work is pending.
+// kick starts the serializer if it is idle and work is pending. A
+// hard-down arc stays paused — its store holds everything in custody
+// until recoverArc kicks it again.
 func (a *arcState) kick() {
-	if a.busy {
+	if a.busy || a.paused() {
 		return
 	}
 	p := a.next()
@@ -192,6 +214,11 @@ func (a *arcState) next() *packet {
 func (a *arcState) transmit(p *packet) {
 	a.busy = true
 	rate := a.capRate
+	if a.down && rate > a.outage.DownRate {
+		// Degraded phase: the serializer keeps draining at the reduced
+		// rate. (Hard outages never reach here — kick is paused.)
+		rate = a.outage.DownRate
+	}
 	if rate <= 0 {
 		rate = units.BitRate(1) // fully throttled: crawl, don't stall forever
 	}
@@ -210,6 +237,15 @@ func (a *arcState) txDone() {
 	p := a.txPkt
 	a.txPkt = nil
 	a.busy = false
+	if a.txDoomed {
+		// The arc hard-failed while p was on the wire: the frame is lost
+		// even if the arc has already recovered. kick() resumes the
+		// serializer in that case and stays paused otherwise.
+		a.txDoomed = false
+		a.dropInFlight(p)
+		a.kick()
+		return
+	}
 	a.pipe = append(a.pipe, p)
 	a.sim.des.After(a.delay, a.arriveFn)
 	a.kick()
@@ -223,6 +259,14 @@ func (a *arcState) deliverHead() {
 	if a.pipeHead == len(a.pipe) {
 		a.pipe = a.pipe[:0]
 		a.pipeHead = 0
+	}
+	if a.pipeDoomed > 0 {
+		// This packet was in the pipe when the arc hard-failed; the pipe
+		// is FIFO and nothing entered it behind the doomed ones before
+		// recovery, so the next pipeDoomed heads are exactly the victims.
+		a.pipeDoomed--
+		a.dropInFlight(p)
+		return
 	}
 	a.sim.arrive(p, a)
 }

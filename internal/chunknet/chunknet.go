@@ -72,6 +72,15 @@ type Config struct {
 	// fractions that trigger and release back-pressure (defaults 0.7/0.3).
 	BackpressureHigh, BackpressureLow float64
 
+	// Outage, when enabled, is the churn process applied to every link
+	// that does not declare its own topo.OutageSpec — the quick way to
+	// churn a whole graph. Links with their own spec keep it.
+	Outage topo.OutageSpec
+	// ChurnSeed seeds the per-arc outage processes (default 1). Two runs
+	// with the same seed see byte-identical churn; the seed is mixed per
+	// arc, so arcs fail independently.
+	ChurnSeed int64
+
 	// RTO is the AIMD retransmission timeout and the ARC stall timer's
 	// upper bound and pre-sample fallback (default 200ms). AIMD keeps the
 	// fixed timer; ARC adapts below it from measured RTTs.
@@ -124,6 +133,9 @@ func (c *Config) applyDefaults() {
 	if c.BackpressureLow == 0 {
 		c.BackpressureLow = 0.3
 	}
+	if c.ChurnSeed == 0 {
+		c.ChurnSeed = 1
+	}
 	if c.RTO == 0 {
 		c.RTO = 200 * time.Millisecond
 	}
@@ -152,6 +164,16 @@ type Report struct {
 	ChunksDropped   int64
 	ChunksDetoured  int64
 	Retransmits     int64
+
+	// Churn accounting (all zero on a churn-free run). ChunksLostInFlight
+	// counts data chunks destroyed on the wire by hard outages;
+	// ChunksRequeued counts custody-held chunks that survived a hard
+	// outage and resumed on recovery. ArcDownSeconds sums downtime over
+	// all arcs (open phases at the horizon included).
+	ArcDownTransitions int64
+	ArcDownSeconds     float64
+	ChunksRequeued     int64
+	ChunksLostInFlight int64
 
 	// Completions maps transfer ID to completion time; unfinished
 	// transfers are absent.
@@ -191,24 +213,31 @@ type Sim struct {
 	// bound once instead of per estimator tick.
 	residualFn core.ResidualFunc
 	// pathScratch is the reusable staging buffer for in-place detour
-	// route splicing (forwardData).
-	pathScratch route.Path
+	// route splicing (forwardData); detourScratch is the same idea for
+	// pickDetour's candidate list.
+	pathScratch   route.Path
+	detourScratch []topo.NodeID
 
 	rep Report
 
 	// Observability instruments (nil when cfg.Obs is nil; every update is
 	// then a nil-safe no-op). Per-arc counters live on arcState.
-	mSent        *obs.Counter
-	mDelivered   *obs.Counter
-	mDropped     *obs.Counter
-	mDetoured    *obs.Counter
-	mRetransmits *obs.Counter
-	mRTOFires    *obs.Counter
-	mBpOn        *obs.Counter
-	mBpOff       *obs.Counter
-	mCompleted   *obs.Counter
-	sCustody     *obs.Sampler
-	gCustodyPeak *obs.Gauge
+	mSent            *obs.Counter
+	mDelivered       *obs.Counter
+	mDropped         *obs.Counter
+	mDetoured        *obs.Counter
+	mRetransmits     *obs.Counter
+	mRTOFires        *obs.Counter
+	mBpOn            *obs.Counter
+	mBpOff           *obs.Counter
+	mCompleted       *obs.Counter
+	mDownTransitions *obs.Counter
+	mRequeued        *obs.Counter
+	mLostInFlight    *obs.Counter
+	sCustody         *obs.Sampler
+	gCustodyPeak     *obs.Gauge
+
+	ran bool // Run may only be called once
 }
 
 // nodeState is one router/host in the simulation.
@@ -274,6 +303,10 @@ func New(cfg Config) (*Sim, error) {
 			if cfg.Transport == INRPP {
 				storeCap += cfg.CustodyBytes
 			}
+			outage := l.Outage
+			if !outage.Enabled() {
+				outage = cfg.Outage
+			}
 			a := &arcState{
 				sim:      s,
 				arc:      topo.Arc{Link: lid, Dir: dir},
@@ -282,6 +315,7 @@ func New(cfg Config) (*Sim, error) {
 				baseRate: l.Capacity,
 				capRate:  l.Capacity,
 				delay:    l.Delay,
+				outage:   outage,
 				store:    cache.NewCustody(storeCap),
 			}
 			a.txDoneFn = a.txDone
@@ -338,7 +372,28 @@ func (s *Sim) instrument() {
 		}
 		a.cTxBytes = reg.Counter(obs.Labeled("arc_tx_bytes", "arc", a.name))
 		a.cDetourBytes = reg.Counter(obs.Labeled("arc_detour_bytes", "arc", a.name))
+		if a.outage.Enabled() {
+			a.cDownTransitions = reg.Counter(obs.Labeled("arc_down_transitions", "arc", a.name))
+			a.hDownSeconds = reg.Histogram(obs.Labeled("arc_down_seconds", "arc", a.name))
+		}
 	}
+	if s.churned() {
+		// Sim-wide churn instruments exist only on churned runs, so a
+		// churn-free run registers the exact metric set it always has.
+		s.mDownTransitions = reg.Counter("chunknet_arc_down_transitions")
+		s.mRequeued = reg.Counter("chunknet_chunks_requeued")
+		s.mLostInFlight = reg.Counter("chunknet_chunks_lost_inflight")
+	}
+}
+
+// churned reports whether any arc has an enabled outage process.
+func (s *Sim) churned() bool {
+	for _, a := range s.arcs {
+		if a != nil && a.outage.Enabled() {
+			return true
+		}
+	}
+	return false
 }
 
 // emitTrace writes one sampled sim-time trace event; a no-op without a
@@ -402,8 +457,17 @@ func (s *Sim) AddTransfer(tr Transfer) error {
 }
 
 // Run executes the simulation until the given horizon (virtual time) and
-// returns the report. It can only be called once.
+// returns the report. It can only be called once: a second call would
+// replay flow kicks over consumed state and silently corrupt the report,
+// so it panics instead.
 func (s *Sim) Run(until time.Duration) *Report {
+	if s.ran {
+		panic("chunknet: Sim.Run called twice")
+	}
+	s.ran = true
+	// Arm link churn first so outage transitions win equal-timestamp
+	// ordering deterministically over same-instant flow activity.
+	s.startChurn()
 	// Kick off per-flow activity.
 	for _, id := range s.flowIDs {
 		f := s.flows[id]
@@ -457,6 +521,7 @@ func (s *Sim) Run(until time.Duration) *Report {
 
 func (s *Sim) finalize(until time.Duration) {
 	s.rep.Duration = until
+	s.finishChurn(until)
 	for _, id := range s.flowIDs {
 		f := s.flows[id]
 		s.rep.DeliveredPerFlow[id] = f.win.Count()

@@ -1,0 +1,141 @@
+package chunknet
+
+// This file implements link churn: the arc up/down state machine driven
+// by the deterministic seeded outage processes declared on topo.Link (or
+// Config.Outage as the graph-wide default). A hard outage (DownRate 0)
+// pauses the serializer — chunks already accepted into the store stay in
+// custody and are requeued on recovery, while packets on the wire (the
+// one in the serializer plus everything in the propagation pipe) are
+// lost, the §3.3 "temporary custodian" contract. A soft outage
+// (DownRate > 0) models a degraded period instead: transmission
+// continues at the reduced rate and nothing is dropped.
+//
+// Determinism: each churned arc owns a math/rand stream seeded by
+// splitmix64(ChurnSeed, arc index), and every transition is a regular
+// DES event, so a seeded run replays byte-identically regardless of
+// instrumentation or host.
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// splitmix64 is the standard 64-bit mix used to derive independent
+// per-arc seeds from (ChurnSeed, arc index) without stream overlap.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// startChurn arms the outage process of every churned arc. Called once
+// from Run; arcs without an enabled spec never transition and pay no
+// cost. The first failure lands after one sampled up-phase.
+func (s *Sim) startChurn() {
+	for idx, a := range s.arcs {
+		if a == nil || !a.outage.Enabled() {
+			continue
+		}
+		seed := splitmix64(uint64(s.cfg.ChurnSeed)<<16 + uint64(idx))
+		a.churnRng = rand.New(rand.NewSource(int64(seed)))
+		a.churnFn = a.churnTick
+		s.des.After(a.sampleChurn(a.outage.Up), a.churnFn)
+	}
+}
+
+// churnTick alternates the arc between up and down, rescheduling itself
+// with the next sampled phase duration. Events scheduled past the run
+// horizon simply never fire, which is what ends the process.
+func (a *arcState) churnTick() {
+	if a.down {
+		a.recoverArc()
+		a.sim.des.After(a.sampleChurn(a.outage.Up), a.churnFn)
+	} else {
+		a.failArc()
+		a.sim.des.After(a.sampleChurn(a.outage.Down), a.churnFn)
+	}
+}
+
+// sampleChurn draws one phase duration: exact for fixed cycles,
+// exponential with the given mean for memoryless churn (floored at 1µs
+// so a pathological draw cannot schedule a zero-length phase).
+func (a *arcState) sampleChurn(mean time.Duration) time.Duration {
+	if a.outage.Kind == topo.OutageFixed {
+		return mean
+	}
+	d := time.Duration(a.churnRng.ExpFloat64() * float64(mean))
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	return d
+}
+
+// paused reports whether the serializer must not start a transmission:
+// only a hard outage pauses; a degraded arc keeps draining at DownRate.
+func (a *arcState) paused() bool { return a.down && a.outage.Hard() }
+
+// failArc takes the arc down. Under a hard outage everything on the
+// wire is doomed: the packet mid-serialization (its completion event
+// still fires; txDone sees txDoomed and drops it) and every packet in
+// the propagation pipe (deliverHead drops the next pipeDoomed heads —
+// exact because the pipe is FIFO and the paused serializer admits
+// nothing behind them until recovery).
+func (a *arcState) failArc() {
+	a.down = true
+	a.downSince = a.sim.des.Now()
+	a.sim.rep.ArcDownTransitions++
+	a.sim.mDownTransitions.Inc()
+	a.cDownTransitions.Inc()
+	a.sim.emitTrace("arc_down", 0, a.name, 0, a.occupancyFraction())
+	if a.outage.Hard() {
+		a.txDoomed = a.busy
+		a.pipeDoomed = len(a.pipe) - a.pipeHead
+	}
+}
+
+// recoverArc brings the arc back up: account the completed down phase,
+// count the custody-held chunks that survived it (they requeue simply by
+// still being in the store), and kick the serializer back to life.
+func (a *arcState) recoverArc() {
+	a.down = false
+	downFor := a.sim.des.Now() - a.downSince
+	a.sim.rep.ArcDownSeconds += downFor.Seconds()
+	a.hDownSeconds.Observe(downFor.Seconds())
+	requeued := int64(a.store.Len())
+	if a.outage.Hard() && requeued > 0 {
+		a.sim.rep.ChunksRequeued += requeued
+		a.sim.mRequeued.Add(requeued)
+	}
+	a.sim.emitTrace("arc_up", 0, a.name, 0, float64(requeued))
+	a.kick()
+}
+
+// dropInFlight disposes of a packet lost to a hard outage. Data chunks
+// are accounted (the transports' loss-recovery paths — NACK resends,
+// RTO, fast re-request — take it from there); lost control packets cost
+// nothing beyond the recovery they would have triggered anyway.
+func (a *arcState) dropInFlight(p *packet) {
+	if p.kind == pktData {
+		a.sim.rep.ChunksLostInFlight++
+		a.sim.mLostInFlight.Inc()
+		a.sim.emitTrace("chunk_lost", p.flow, a.name, p.seq, 0)
+	}
+	a.sim.freePacket(p)
+}
+
+// finishChurn closes the books at the horizon: an arc still down has an
+// open phase whose elapsed part belongs in the report (and histogram),
+// or ArcDownSeconds would under-count long-outage runs.
+func (s *Sim) finishChurn(until time.Duration) {
+	for _, a := range s.arcs {
+		if a == nil || !a.down {
+			continue
+		}
+		downFor := until - a.downSince
+		s.rep.ArcDownSeconds += downFor.Seconds()
+		a.hDownSeconds.Observe(downFor.Seconds())
+	}
+}

@@ -25,6 +25,7 @@ type flowState struct {
 	lastData time.Duration
 	nextReq  int64 // next chunk to request
 	lastNack int64
+	nackAt   time.Duration // when lastNack was sent (INRPP re-arm)
 	done     bool
 
 	// Sender side (INRPP).
@@ -146,7 +147,10 @@ func (s *Sim) shouldDetour(a *arcState) bool {
 // viable candidates (the flowlet splitting of §3.3). Only one-hop
 // candidates qualify: the extra hop budget is the packet's to spend.
 func (s *Sim) pickDetour(a *arcState, p *packet) (topo.NodeID, bool) {
-	var viable []topo.NodeID
+	// The candidate list lives in a sim-level scratch slice: pickDetour
+	// runs per forwarded chunk in the congested regime, where a fresh
+	// slice per call would break forwardData's allocation-free promise.
+	viable := s.detourScratch[:0]
 	for _, sub := range s.planner.Candidates(a.arc.Link, a.arc.Dir) {
 		if sub.Extra != 1 {
 			continue
@@ -158,6 +162,7 @@ func (s *Sim) pickDetour(a *arcState, p *packet) (topo.NodeID, bool) {
 			viable = append(viable, via)
 		}
 	}
+	s.detourScratch = viable
 	if len(viable) == 0 {
 		return 0, false
 	}
@@ -215,6 +220,12 @@ func (s *Sim) deliver(p *packet) {
 	}
 }
 
+// nackStall is the INRPP receiver's stall threshold: no data for this
+// long (with requests outstanding) makes the receiver re-request the
+// first missing chunk, and each further epoch of silence re-arms the
+// NACK for the same chunk.
+const nackStall = 300 * time.Millisecond
+
 // requestLoop is the INRPP receiver: it paces ⟨Nc, ACKc, Ac⟩ requests at
 // the estimated data rate, re-requesting stalled chunks via explicit
 // NACK-like asks (§3.2: losses are identified by explicit timers or
@@ -230,10 +241,16 @@ func (s *Sim) requestLoop(f *flowState) {
 	case f.nextReq <= limit && f.nextReq < f.tr.Chunks:
 		s.sendRequest(f, f.nextReq, false)
 		f.nextReq++
-	case f.win.Next() < f.nextReq && now-f.lastData > 300*time.Millisecond:
-		// Stalled: re-request the first missing chunk once per stall.
-		if missing := f.win.Next(); missing != f.lastNack {
+	case f.win.Next() < f.nextReq && now-f.lastData > nackStall:
+		// Stalled: re-request the first missing chunk once per stall
+		// epoch. The one-shot `missing != f.lastNack` guard alone
+		// deadlocked: if the re-request or the resent chunk was itself
+		// lost, missing never changed and no second NACK could ever
+		// fire. Re-arm once a full stall interval passes with no
+		// progress since the last NACK.
+		if missing := f.win.Next(); missing != f.lastNack || now-f.nackAt > nackStall {
 			f.lastNack = missing
+			f.nackAt = now
 			s.sendRequest(f, missing, true)
 		}
 	}

@@ -289,3 +289,88 @@ func TestCustodyPaperDefaults(t *testing.T) {
 		t.Errorf("INRPP dropped %d at paper scale", r.INRPP.Dropped)
 	}
 }
+
+// tinyDisruption is a scaled-down disruption config for test speed: the
+// golden churn chain at two outage rates, two seeds each.
+func tinyDisruption() DisruptionConfig {
+	return DisruptionConfig{
+		IngressRate: units.Gbps,
+		EgressRate:  200 * units.Mbps,
+		Custody:     50 * units.MB,
+		Buffer:      2 * units.MB,
+		ChunkSize:   100 * units.KB,
+		Chunks:      200,
+		Horizon:     2 * time.Second,
+		OutageKind:  topo.OutageExp,
+		OutageUps:   []time.Duration{400 * time.Millisecond, 150 * time.Millisecond},
+		OutageDown:  100 * time.Millisecond,
+		Seeds:       2,
+	}
+}
+
+func TestDisruptionExperiment(t *testing.T) {
+	r, err := Disruption(tinyDisruption())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("got %d rows, want 2 outage rates × 3 transports", len(r.Rows))
+	}
+	// Transports at one outage rate replay the identical churn trace:
+	// their downtime accounting must agree exactly, not statistically.
+	downBy := map[time.Duration]float64{}
+	for _, row := range r.Rows {
+		if row.ArcDownS <= 0 {
+			t.Errorf("%s up=%s: no downtime accounted", row.Transport, row.OutageUp)
+		}
+		if prev, ok := downBy[row.OutageUp]; ok && prev != row.ArcDownS {
+			t.Errorf("up=%s: transports saw different outage traces (%v vs %v)",
+				row.OutageUp, prev, row.ArcDownS)
+		}
+		downBy[row.OutageUp] = row.ArcDownS
+		if row.Transport == "inrpp" && row.Requeued == 0 {
+			t.Errorf("inrpp up=%s: custody never requeued through an outage", row.OutageUp)
+		}
+	}
+	// The experiment is a pure function of its config.
+	again, err := Disruption(tinyDisruption())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := DisruptionReport(again).String(), DisruptionReport(r).String(); got != want {
+		t.Errorf("rerun differs:\n%s\n--- vs ---\n%s", got, want)
+	}
+	if !strings.Contains(DisruptionReport(r).String(), "inrpp") {
+		t.Error("report missing transport rows")
+	}
+}
+
+// TestDisruptionShardMerge: the disruption grid split across two shard
+// hosts and merged reproduces the unsharded report.
+func TestDisruptionShardMerge(t *testing.T) {
+	golden, err := Disruption(tinyDisruption())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("disruption-shard%d.jsonl", i))
+		cfg := tinyDisruption()
+		cfg.Shard = sweep.Shard{Index: i, Count: 2}
+		cfg.Checkpoint = paths[i]
+		if _, err := Disruption(cfg); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	merged, err := DisruptionMerge(tinyDisruption(), paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := DisruptionReport(merged).String(), DisruptionReport(golden).String(); got != want {
+		t.Errorf("merged disruption report differs from unsharded run:\n%s\n--- vs ---\n%s", got, want)
+	}
+	if _, err := DisruptionMerge(tinyDisruption(), paths[0]); err == nil {
+		t.Error("DisruptionMerge with a missing shard should fail")
+	}
+}

@@ -56,6 +56,11 @@ type ChunkSpec struct {
 	// RTO is the AIMD/ARC retransmission timeout (0 keeps the chunknet
 	// default).
 	RTO time.Duration
+	// Outage, when enabled, applies a churn process to the egress
+	// bottleneck link — the disruption axis. The scenario seed drives
+	// the churn realization, so transports at the same seed see
+	// identical outage traces and the comparison isolates the transport.
+	Outage topo.OutageSpec
 
 	// Obs, Trace and TraceLabel thread observability into the simulator
 	// (see chunknet.Config). All optional; scenarios expanded from one
@@ -102,12 +107,17 @@ func (s *ChunkSpec) applyDefaults() {
 	}
 }
 
-// Graph builds the spec's bottleneck chain.
+// Graph builds the spec's bottleneck chain. An enabled Outage churns the
+// egress link: the bottleneck fails, so ingress keeps filling the
+// router's store — the regime where custody either holds or drops.
 func (s ChunkSpec) Graph() *topo.Graph {
 	g := topo.New("custody-chain")
 	g.AddNodes(3)
 	g.MustAddLink(0, 1, s.IngressRate, time.Millisecond)
-	g.MustAddLink(1, 2, s.EgressRate, time.Millisecond)
+	egress := g.MustAddLink(1, 2, s.EgressRate, time.Millisecond)
+	if s.Outage.Enabled() {
+		g.SetLinkOutage(egress, s.Outage)
+	}
 	return g
 }
 
@@ -123,9 +133,13 @@ func (s ChunkSpec) Simulate(seed int64) (*chunknet.Report, error) {
 		Anticipation: s.Anticipation,
 		Ti:           s.Ti,
 		RTO:          s.RTO,
-		Obs:          s.Obs,
-		Trace:        s.Trace,
-		TraceLabel:   s.TraceLabel,
+		// The scenario seed drives the churn realization too (+1 keeps
+		// seed 0 off the chunknet default); SeedAxes excludes transport,
+		// so transports at one grid point replay the same outage trace.
+		ChurnSeed:  seed + 1,
+		Obs:        s.Obs,
+		Trace:      s.Trace,
+		TraceLabel: s.TraceLabel,
 	}
 	if s.Transport == chunknet.INRPP {
 		cfg.CustodyBytes = s.Custody
@@ -228,6 +242,14 @@ func ChunkMetrics(rep *chunknet.Report, spec ChunkSpec) Metrics {
 		m.Set("backpressure", float64(rep.BackpressureOn))
 		m.Set("closed_loop", float64(rep.ClosedLoopEntries))
 		m.Set("detoured", float64(rep.ChunksDetoured))
+	}
+	// Churn metrics exist only on disrupted scenarios, so churn-free
+	// sweeps keep their exact metric set (and golden bytes).
+	if spec.Outage.Enabled() {
+		m.Set("arc_down_transitions", float64(rep.ArcDownTransitions))
+		m.Set("arc_down_s", rep.ArcDownSeconds)
+		m.Set("lost_inflight", float64(rep.ChunksLostInFlight))
+		m.Set("requeued", float64(rep.ChunksRequeued))
 	}
 	return m
 }

@@ -90,6 +90,46 @@ func goldenChunkScenarios(reg *obs.Registry, tr *obs.Trace) []Scenario {
 	})
 }
 
+// goldenChurnScenarios is the disruption analogue of the chunk grid: all
+// three transports over a churned egress link at two outage rates. Seeds
+// derive from the outage axis alone, so every transport replays the same
+// outage trace per cell — and the fixture pins the churn machinery's
+// determinism (seeded outage processes, custody requeue, in-flight drop)
+// byte-for-byte.
+func goldenChurnScenarios(reg *obs.Registry, tr *obs.Trace) []Scenario {
+	grid := NewGrid().
+		Axis("transport", "inrpp", "aimd", "arc").
+		Axis("outage_up", "400ms", "150ms").
+		SeedAxes("outage_up")
+	return grid.Expand(7, 2, func(pt Point, replica int, seed int64) RunFunc {
+		up, err := time.ParseDuration(pt.Get("outage_up"))
+		if err != nil {
+			panic(err)
+		}
+		spec := ChunkSpec{
+			Transport:   MustParseTransport(pt.Get("transport")),
+			IngressRate: units.Gbps,
+			EgressRate:  200 * units.Mbps,
+			ChunkSize:   100 * units.KB,
+			Custody:     50 * units.MB,
+			Buffer:      2 * units.MB,
+			Transfers:   1,
+			Chunks:      200,
+			Horizon:     2 * time.Second,
+			Ti:          10 * time.Millisecond,
+			Outage: topo.OutageSpec{
+				Kind: topo.OutageExp,
+				Up:   up,
+				Down: 100 * time.Millisecond,
+			},
+			Obs:        reg,
+			Trace:      tr,
+			TraceLabel: ScenarioName(pt, replica),
+		}
+		return spec.Run(seed)
+	})
+}
+
 // renderGolden runs the scenarios and renders all three output formats
 // the way cmd/sweep does. A non-nil reg additionally instruments the
 // runner itself.
@@ -205,6 +245,46 @@ func TestGoldenChunkSweepWithObs(t *testing.T) {
 	}
 	if snap.Counters["des_events_fired"] == 0 {
 		t.Error("kernel counters not bound")
+	}
+}
+
+// TestGoldenChurnSweep pins the rendered bytes of a disrupted chunk
+// sweep: the seeded outage processes, custody requeue and in-flight drop
+// accounting must all replay exactly.
+func TestGoldenChurnSweep(t *testing.T) {
+	table, csv, jsonOut := renderGolden(t, goldenChurnScenarios(nil, nil), nil)
+	checkGolden(t, "golden_churn_table.txt", table)
+	checkGolden(t, "golden_churn.csv", csv)
+	checkGolden(t, "golden_churn.json", jsonOut)
+}
+
+// TestGoldenChurnWorkerInvariance re-renders the churn sweep
+// single-threaded: churn realizations are seeded per scenario, so the
+// bytes cannot depend on the worker count.
+func TestGoldenChurnWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	scenarios := goldenChurnScenarios(nil, nil)
+	acc := NewAccumulator(AccumulatorConfig{Mode: AggExact}, scenarios)
+	runner := &Runner{Workers: 1}
+	if _, err := runner.Accumulate(context.Background(), scenarios, acc); err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := acc.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb bytes.Buffer
+	if err := CSV(&cb, aggs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_churn.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb.Bytes(), want) {
+		t.Error("single-worker churn run renders different bytes than golden fixture")
 	}
 }
 

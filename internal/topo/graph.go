@@ -44,6 +44,7 @@ type Link struct {
 	A, B     NodeID
 	Capacity units.BitRate // per direction
 	Delay    time.Duration // one-way propagation delay
+	Outage   OutageSpec    // optional churn process; zero value = always up
 }
 
 // Other returns the endpoint of l that is not n. It panics if n is not an

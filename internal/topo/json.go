@@ -26,6 +26,12 @@ type jsonLink struct {
 	B        int     `json:"b"`
 	Capacity string  `json:"capacity"` // e.g. "10Gbps"
 	DelayMS  float64 `json:"delay_ms,omitempty"`
+	// Optional churn process; absent for always-up links so graphs
+	// written before outage support encode byte-identically.
+	OutageKind     string  `json:"outage_kind,omitempty"` // "fixed" or "exp"
+	OutageUpMS     float64 `json:"outage_up_ms,omitempty"`
+	OutageDownMS   float64 `json:"outage_down_ms,omitempty"`
+	OutageDownRate string  `json:"outage_down_rate,omitempty"` // absent = hard outage
 }
 
 // MarshalJSON encodes the graph with human-readable capacities.
@@ -35,12 +41,21 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 		jg.Nodes = append(jg.Nodes, jsonNode{ID: int(n.ID), Name: n.Name})
 	}
 	for _, l := range g.links {
-		jg.Links = append(jg.Links, jsonLink{
+		jl := jsonLink{
 			A:        int(l.A),
 			B:        int(l.B),
 			Capacity: l.Capacity.String(),
 			DelayMS:  float64(l.Delay) / float64(time.Millisecond),
-		})
+		}
+		if l.Outage.Enabled() {
+			jl.OutageKind = l.Outage.Kind.String()
+			jl.OutageUpMS = float64(l.Outage.Up) / float64(time.Millisecond)
+			jl.OutageDownMS = float64(l.Outage.Down) / float64(time.Millisecond)
+			if !l.Outage.Hard() {
+				jl.OutageDownRate = l.Outage.DownRate.String()
+			}
+		}
+		jg.Links = append(jg.Links, jl)
 	}
 	return json.Marshal(jg)
 }
@@ -65,8 +80,28 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("topo: link %d-%d: %w", l.A, l.B, err)
 		}
 		delay := time.Duration(l.DelayMS * float64(time.Millisecond))
-		if _, err := fresh.AddLink(NodeID(l.A), NodeID(l.B), capacity, delay); err != nil {
+		id, err := fresh.AddLink(NodeID(l.A), NodeID(l.B), capacity, delay)
+		if err != nil {
 			return err
+		}
+		if l.OutageKind != "" {
+			kind, err := ParseOutageKind(l.OutageKind)
+			if err != nil {
+				return fmt.Errorf("topo: link %d-%d: %w", l.A, l.B, err)
+			}
+			spec := OutageSpec{
+				Kind: kind,
+				Up:   time.Duration(l.OutageUpMS * float64(time.Millisecond)),
+				Down: time.Duration(l.OutageDownMS * float64(time.Millisecond)),
+			}
+			if l.OutageDownRate != "" {
+				rate, err := units.ParseBitRate(l.OutageDownRate)
+				if err != nil {
+					return fmt.Errorf("topo: link %d-%d outage rate: %w", l.A, l.B, err)
+				}
+				spec.DownRate = rate
+			}
+			fresh.SetLinkOutage(id, spec)
 		}
 	}
 	*g = *fresh

@@ -1,0 +1,116 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestOutageKindParseRoundTrip(t *testing.T) {
+	for _, k := range []OutageKind{OutageNone, OutageFixed, OutageExp} {
+		got, err := ParseOutageKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseOutageKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if k, err := ParseOutageKind(""); err != nil || k != OutageNone {
+		t.Errorf("empty kind = %v, %v; want OutageNone", k, err)
+	}
+	if k, err := ParseOutageKind("FIXED"); err != nil || k != OutageFixed {
+		t.Errorf("case-insensitive parse = %v, %v; want OutageFixed", k, err)
+	}
+	if _, err := ParseOutageKind("bogus"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestOutageSpecEnabled(t *testing.T) {
+	if (OutageSpec{}).Enabled() {
+		t.Error("zero spec enabled")
+	}
+	if (OutageSpec{Kind: OutageExp, Up: time.Second}).Enabled() {
+		t.Error("spec without Down enabled")
+	}
+	full := OutageSpec{Kind: OutageFixed, Up: time.Second, Down: 100 * time.Millisecond}
+	if !full.Enabled() || !full.Hard() {
+		t.Error("fixed hard spec should be enabled and hard")
+	}
+	soft := full
+	soft.DownRate = units.Mbps
+	if soft.Hard() {
+		t.Error("spec with DownRate should be soft")
+	}
+	if (OutageSpec{}).String() != "none" {
+		t.Errorf("zero spec renders %q, want none", (OutageSpec{}).String())
+	}
+	if s := soft.String(); !strings.Contains(s, "fixed") || !strings.Contains(s, "rate=") {
+		t.Errorf("soft spec renders %q", s)
+	}
+}
+
+func TestOutageClonePreserved(t *testing.T) {
+	g := New("churned")
+	g.AddNodes(2)
+	id := g.MustAddLink(0, 1, units.Gbps, time.Millisecond)
+	spec := OutageSpec{Kind: OutageExp, Up: 2 * time.Second, Down: 200 * time.Millisecond, DownRate: 10 * units.Mbps}
+	g.SetLinkOutage(id, spec)
+	if got := g.Clone().Link(id).Outage; got != spec {
+		t.Errorf("clone outage = %+v, want %+v", got, spec)
+	}
+}
+
+func TestOutageJSONRoundTrip(t *testing.T) {
+	g := New("churned")
+	g.AddNodes(3)
+	plain := g.MustAddLink(0, 1, units.Gbps, time.Millisecond)
+	hard := g.MustAddLink(1, 2, 100*units.Mbps, 2*time.Millisecond)
+	g.SetLinkOutage(hard, OutageSpec{Kind: OutageFixed, Up: time.Second, Down: 250 * time.Millisecond})
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Always-up links must not carry outage fields, so pre-churn graph
+	// files decode and re-encode byte-identically; a hard outage omits
+	// the down rate.
+	if strings.Count(buf.String(), "outage_kind") != 1 {
+		t.Errorf("outage fields on always-up links: %s", buf.String())
+	}
+	if strings.Contains(buf.String(), "outage_down_rate") {
+		t.Errorf("hard outage encoded a down rate: %s", buf.String())
+	}
+
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Link(plain).Outage; got.Enabled() {
+		t.Errorf("plain link decoded with outage %+v", got)
+	}
+	want := OutageSpec{Kind: OutageFixed, Up: time.Second, Down: 250 * time.Millisecond}
+	if got := back.Link(hard).Outage; got != want {
+		t.Errorf("hard outage decoded as %+v, want %+v", got, want)
+	}
+
+	// Soft outage: the down rate survives the trip too.
+	g.SetLinkOutage(hard, OutageSpec{Kind: OutageExp, Up: time.Second, Down: 100 * time.Millisecond, DownRate: 5 * units.Mbps})
+	buf.Reset()
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Link(hard).Outage; got != g.Link(hard).Outage {
+		t.Errorf("soft outage decoded as %+v, want %+v", got, g.Link(hard).Outage)
+	}
+
+	// A bad kind fails loudly.
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps","outage_kind":"bogus"}]}`)); err == nil {
+		t.Error("bogus outage kind accepted")
+	}
+}

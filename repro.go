@@ -63,6 +63,13 @@ type (
 	ChunkReport = chunknet.Report
 	// DetourProfile is a topology's Table 1 row.
 	DetourProfile = route.Profile
+	// LinkOutage is a seeded churn process for a link: fixed or
+	// exponential up/down cycles, with an optional degraded down-rate
+	// (zero = hard outage). Attach per link with Graph.SetLinkOutage, or
+	// graph-wide via ChunkConfig.Outage / ChunkSweepSpec.Outage.
+	LinkOutage = topo.OutageSpec
+	// LinkOutageKind selects the churn family (none, fixed, exp).
+	LinkOutageKind = topo.OutageKind
 	// ReportTable is a renderable text/CSV result table.
 	ReportTable = report.Table
 
@@ -401,4 +408,30 @@ var (
 	// CustodyMerge combines the shard checkpoints of a distributed
 	// custody run into the full result without executing any scenario.
 	CustodyMerge = experiments.CustodyMerge
+	// Disruption runs the link-churn experiment: completion time vs
+	// outage rate per transport on the churned custody chain.
+	Disruption = experiments.Disruption
+	// DisruptionMerge combines the shard checkpoints of a distributed
+	// disruption run into the full result without executing any scenario.
+	DisruptionMerge = experiments.DisruptionMerge
 )
+
+// Link churn process kinds (LinkOutage.Kind).
+const (
+	OutageNone  = topo.OutageNone
+	OutageFixed = topo.OutageFixed
+	OutageExp   = topo.OutageExp
+)
+
+// DisruptionConfig parameterises the Disruption experiment.
+type DisruptionConfig = experiments.DisruptionConfig
+
+// DisruptionReport renders the disruption result as a table.
+func DisruptionReport(r *experiments.DisruptionResult) *ReportTable {
+	return experiments.DisruptionReport(r)
+}
+
+// ParseLinkOutageKind decodes "none", "fixed" or "exp".
+func ParseLinkOutageKind(s string) (LinkOutageKind, error) {
+	return topo.ParseOutageKind(s)
+}
