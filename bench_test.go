@@ -397,6 +397,39 @@ func BenchmarkChunknetDetour(b *testing.B) {
 	b.ReportMetric(float64(detoured), "detoured")
 }
 
+// BenchmarkChunknetLossy pushes a long transfer across a 5%-lossy
+// bottleneck, so the per-packet loss draw and the NACK/resend recovery
+// loop dominate the event stream. ReportAllocs gates the loss path: the
+// draw is one Float64 from the arc's seeded stream and must stay
+// allocation-free, as must the resend bookkeeping it triggers.
+func BenchmarkChunknetLossy(b *testing.B) {
+	var lost, delivered int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := topo.New("lossy-chain")
+		g.AddNodes(3)
+		g.MustAddLink(0, 1, 100*units.Mbps, time.Millisecond)
+		egress := g.MustAddLink(1, 2, 10*units.Mbps, time.Millisecond)
+		g.SetLinkLoss(egress, 0.05)
+		s, err := chunknet.New(chunknet.Config{
+			Graph: g, Transport: chunknet.INRPP,
+			ChunkSize: 10 * units.KB, Anticipation: 64,
+			CustodyBytes: 50 * units.MB, InitialRequestRate: 100 * units.Mbps,
+			ChurnSeed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddTransfer(chunknet.Transfer{ID: 1, Src: 0, Dst: 2, Chunks: 2000}); err != nil {
+			b.Fatal(err)
+		}
+		rep := s.Run(30 * time.Second)
+		lost, delivered = rep.PktsLostRandom, rep.ChunksDelivered
+	}
+	b.ReportMetric(float64(lost), "lost")
+	b.ReportMetric(float64(delivered), "delivered")
+}
+
 // scaledWorkload builds a deterministic gravity workload whose arrivals
 // span ≈4s of virtual time at any count, so thousands of flows are
 // concurrently active within a short horizon.

@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|fig4a|fig4b|fig3|custody|disruption]
+//	experiments [-run all|table1|fig4a|fig4b|fig3|custody|disruption|failover]
 //	            [-seeds N] [-horizon 15s] [-format table|csv] [-quick]
 //
 // disruption — the link-churn experiment (completion time vs outage rate
 // per transport) — runs only when named: its default scale sweeps 12 grid
 // cells × seeds at a 60s horizon. -quick shrinks it to seconds.
+//
+// failover — the recovery-strategy frontier (failure profile ×
+// correlation × custody × strategy on the custody diamond) — also runs
+// only when named. -quick drops the both strategy and the custody axis,
+// keeping the two frontier halves.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/chunknet"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/topo"
@@ -24,7 +30,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all|table1|fig4a|fig4b|fig3|custody|disruption (disruption only when named)")
+	run := flag.String("run", "all", "experiment to run: all|table1|fig4a|fig4b|fig3|custody|disruption|failover (disruption and failover only when named)")
 	seeds := flag.Int("seeds", 3, "workload seeds for fig4")
 	horizon := flag.Duration("horizon", 15*time.Second, "virtual horizon per fig4 run")
 	format := flag.String("format", "table", "output format: table|csv")
@@ -137,6 +143,21 @@ func main() {
 			fatal(err)
 		}
 		emit(experiments.DisruptionReport(r))
+	}
+
+	if *run == "failover" {
+		cfg := experiments.FailoverConfig{Seeds: *seeds}
+		if *quick {
+			cfg.Seeds = 1
+			cfg.Custodies = []units.ByteSize{32 * units.MB}
+			cfg.Strategies = []chunknet.FailoverMode{chunknet.FailoverHold, chunknet.FailoverReroute}
+		}
+		fmt.Println("running failover (failure profile × correlation × custody × strategy on the custody diamond)...")
+		r, err := experiments.Failover(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.FailoverReport(r))
 	}
 }
 

@@ -18,9 +18,19 @@
 //	sweep -mode chunk -transports inrpp,aimd,arc -anticipations 256,4096 \
 //	      -custody 1GB,10GB -transfers 1,4 -chunks 2000 -replicas 3
 //
-// Anticipation and custody are INRPP knobs: the AIMD/ARC baselines run
-// only at the first listed value of each instead of being recomputed
-// byte-identically per cell.
+// Chunk mode also carries the failure model: -outage-kind/-outage-up/
+// -outage-down put churn on the bottleneck, -maintenance "1s-2s;4s-5s"
+// adds scheduled hard-down windows, -loss 0.01,0.05 makes the bottleneck
+// randomly lossy (axis), -detour-rate 1Gbps adds a failover diamond, and
+// with it -failover hold,reroute,both compares recovery strategies and
+// -correlated true fails the detour together with the bottleneck (one
+// SRLG). Loss and correlation change the failure realization and join
+// the seed derivation; the failover axis does not, so every strategy
+// replays the identical failure trace.
+//
+// Anticipation, custody and failover are INRPP knobs: the AIMD/ARC
+// baselines run only at the first listed value of each instead of being
+// recomputed byte-identically per cell.
 //
 // With -checkpoint FILE every completed scenario is streamed to FILE as
 // one JSON line; rerunning with -resume restores those scenarios from
@@ -113,6 +123,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chunknet"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/topo"
@@ -179,6 +190,11 @@ func main() {
 	outageUpList := flag.String("outage-up", "2s", "chunk: comma-separated mean up-phase durations (outage-rate axis; active with -outage-kind)")
 	outageDownList := flag.String("outage-down", "500ms", "chunk: comma-separated mean down-phase durations (axis)")
 	outageDownRateStr := flag.String("outage-downrate", "", "chunk: link capacity while down (empty = hard outage: arc pauses, in-flight packets drop)")
+	lossList := flag.String("loss", "0", "chunk: comma-separated egress per-packet loss probabilities (lossy-arc axis; 0 keeps the link lossless)")
+	failoverList := flag.String("failover", "hold", "chunk: comma-separated INRPP failover strategies: hold|reroute|both (axis; baselines keep the first value)")
+	detourRateStr := flag.String("detour-rate", "", "chunk: add a detour node beside the bottleneck with both links at this rate (empty = no detour; required by -failover reroute/both and -correlated)")
+	correlatedList := flag.String("correlated", "false", "chunk: comma-separated true|false — group the egress and detour-return links into one SRLG so they fail together (axis; needs -detour-rate)")
+	maintenanceStr := flag.String("maintenance", "", "chunk: scheduled egress hard-down windows, semicolon-separated \"start-end\" pairs (e.g. \"1s-2s;4s-5s\"); composes with -outage-kind churn")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -268,15 +284,24 @@ func main() {
 			chunkSize: *chunkSizeStr, chunks: *chunks, buffer: *bufferStr,
 			outageKind: *outageKindStr, outageUps: *outageUpList,
 			outageDowns: *outageDownList, outageDownRate: *outageDownRateStr,
+			losses: *lossList, failovers: *failoverList, detourRate: *detourRateStr,
+			correlated: *correlatedList, maintenance: *maintenanceStr,
 			horizon: *horizon, seed: *seed, replicas: *replicas,
 			obs: reg, trace: simTrace,
 		})
 		label = fmt.Sprintf("chunk ingress=%s egress=%s chunksize=%s chunks=%d buffer=%s horizon=%s",
 			*ingressStr, *egressStr, *chunkSizeStr, *chunks, *bufferStr, *horizon)
-		// Churn-free labels keep their pre-outage bytes, so old checkpoints
-		// still resume and merge.
+		// Failure-free labels keep their pre-outage bytes, so old
+		// checkpoints still resume and merge. Scalar failure knobs join the
+		// label (axes are already part of every scenario name).
 		if kind := mustOutageKind(*outageKindStr); kind != topo.OutageNone {
 			label += fmt.Sprintf(" outage=%s downrate=%s", kind, *outageDownRateStr)
+		}
+		if *maintenanceStr != "" {
+			label += fmt.Sprintf(" maintenance=%s", *maintenanceStr)
+		}
+		if *detourRateStr != "" {
+			label += fmt.Sprintf(" detour=%s", *detourRateStr)
 		}
 		chunksPer := float64(*chunks)
 		costFn = func(sc sweep.Scenario) float64 {
@@ -650,6 +675,8 @@ type chunkArgs struct {
 	ingress, egress, chunkSize, buffer  string
 	outageKind, outageUps, outageDowns  string
 	outageDownRate                      string
+	losses, failovers                   string
+	detourRate, correlated, maintenance string
 	chunks                              int64
 	horizon                             time.Duration
 	seed                                int64
@@ -726,6 +753,73 @@ func chunkScenarios(a chunkArgs) []sweep.Scenario {
 		}
 	}
 
+	// Failure knobs, all validated here so a bad value dies at flag-parse
+	// time instead of mid-sweep. Each axis only joins the grid when its
+	// flag moves off the quiet default, keeping failure-free scenario
+	// names, seeds and output bytes exactly as they were.
+	losses := split(a.losses)
+	lossAxis := false
+	for _, l := range losses {
+		p, err := strconv.ParseFloat(l, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -loss entry %q: %w", l, err))
+		}
+		if err := topo.ValidateLossProb(p); err != nil {
+			fatal(fmt.Errorf("bad -loss entry %q: %w", l, err))
+		}
+		if p > 0 {
+			lossAxis = true
+		}
+	}
+	failovers := split(a.failovers)
+	failoverAxis := false
+	for _, f := range failovers {
+		mode, err := chunknet.ParseFailoverMode(f)
+		if err != nil {
+			fatal(err)
+		}
+		if mode != chunknet.FailoverHold {
+			failoverAxis = true
+		}
+	}
+	var detourRate units.BitRate
+	if a.detourRate != "" {
+		var err error
+		if detourRate, err = units.ParseBitRate(a.detourRate); err != nil {
+			fatal(fmt.Errorf("bad -detour-rate: %w", err))
+		}
+	}
+	if failoverAxis && detourRate == 0 {
+		fatal(fmt.Errorf("-failover reroute/both needs a detour path: set -detour-rate"))
+	}
+	correlateds := split(a.correlated)
+	correlatedAxis := false
+	for _, c := range correlateds {
+		v, err := strconv.ParseBool(c)
+		if err != nil {
+			fatal(fmt.Errorf("bad -correlated entry %q: %w", c, err))
+		}
+		if v {
+			correlatedAxis = true
+		}
+	}
+	if correlatedAxis && detourRate == 0 {
+		fatal(fmt.Errorf("-correlated groups the egress with the detour-return link: set -detour-rate"))
+	}
+	if correlatedAxis && outageKind == topo.OutageNone && a.maintenance == "" {
+		fatal(fmt.Errorf("-correlated needs a failure process: set -outage-kind and/or -maintenance"))
+	}
+	var maintenance []topo.Window
+	if a.maintenance != "" {
+		var err error
+		if maintenance, err = topo.ParseWindows(a.maintenance); err != nil {
+			fatal(fmt.Errorf("bad -maintenance: %w", err))
+		}
+		if err := (topo.CalendarSpec{Windows: maintenance}).Validate(); err != nil {
+			fatal(fmt.Errorf("bad -maintenance: %w", err))
+		}
+	}
+
 	// The churn axes only exist when churn is on, so churn-free grids —
 	// their scenario names, seeds and output bytes — stay exactly as they
 	// were before outage support. Outage axes join the seed derivation:
@@ -741,6 +835,21 @@ func chunkScenarios(a chunkArgs) []sweep.Scenario {
 		grid.Axis("outage_up", split(a.outageUps)...).
 			Axis("outage_down", split(a.outageDowns)...)
 		seedAxes = append(seedAxes, "outage_up", "outage_down")
+	}
+	// The loss and correlation axes change the failure realization, so
+	// they join the seed derivation; the failover axis must NOT — the
+	// whole point is that every strategy replays the identical failure
+	// trace.
+	if lossAxis {
+		grid.Axis("loss", losses...)
+		seedAxes = append(seedAxes, "loss")
+	}
+	if correlatedAxis {
+		grid.Axis("correlated", correlateds...)
+		seedAxes = append(seedAxes, "correlated")
+	}
+	if failoverAxis {
+		grid.Axis("failover", failovers...)
 	}
 	grid.SeedAxes(seedAxes...)
 	scenarios := grid.Expand(a.seed, a.replicas,
@@ -759,6 +868,8 @@ func chunkScenarios(a chunkArgs) []sweep.Scenario {
 				Transfers:    transfers,
 				Chunks:       a.chunks,
 				Horizon:      a.horizon,
+				DetourRate:   detourRate,
+				Maintenance:  maintenance,
 				Obs:          a.obs,
 				Trace:        a.trace,
 				TraceLabel:   sweep.ScenarioName(pt, replica),
@@ -770,19 +881,32 @@ func chunkScenarios(a chunkArgs) []sweep.Scenario {
 					Kind: outageKind, Up: up, Down: down, DownRate: outageDownRate,
 				}
 			}
+			if lossAxis {
+				spec.Loss, _ = strconv.ParseFloat(pt.Get("loss"), 64)
+			}
+			if correlatedAxis {
+				spec.Correlated, _ = strconv.ParseBool(pt.Get("correlated"))
+			}
+			if failoverAxis {
+				spec.Failover, _ = chunknet.ParseFailoverMode(pt.Get("failover"))
+			}
 			return spec.Run(seed)
 		})
 
-	// Anticipation and custody are INRPP knobs: AIMD and ARC would run
-	// byte-identically at every (ac, custody) cell. Baselines keep only
+	// Anticipation, custody and failover are INRPP knobs: AIMD and ARC
+	// would run byte-identically at every such cell. Baselines keep only
 	// the first listed value of each, so wide INRPP grids don't multiply
 	// baseline wall-clock (or duplicate their rows) for free.
 	acs, custodies := split(a.acs), split(a.custody)
 	kept := scenarios[:0]
 	for _, sc := range scenarios {
-		if sc.Point.Get("transport") != "inrpp" &&
-			(sc.Point.Get("ac") != acs[0] || sc.Point.Get("custody") != custodies[0]) {
-			continue
+		if sc.Point.Get("transport") != "inrpp" {
+			if sc.Point.Get("ac") != acs[0] || sc.Point.Get("custody") != custodies[0] {
+				continue
+			}
+			if failoverAxis && sc.Point.Get("failover") != failovers[0] {
+				continue
+			}
 		}
 		kept = append(kept, sc)
 	}

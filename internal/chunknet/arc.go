@@ -94,20 +94,45 @@ type arcState struct {
 	bpNotified map[topo.NodeID]bool // neighbors notified
 	limited    bool                 // capRate reduced by an upstream notification
 
-	// Churn state (see churn.go). outage is the declared process; down /
-	// downSince track the current phase; churnRng is the arc's private
-	// seeded stream; churnFn is the transition callback bound once at
-	// startChurn. txDoomed and pipeDoomed mark in-flight packets caught
-	// on the wire by a hard failure: their scheduled completion/arrival
-	// events still fire, but dispose of the packet instead of advancing
-	// it.
+	// Failure state (see churn.go). outage is the arc's own declared churn
+	// process and calendar its scheduled maintenance; the SRLG processes
+	// of any groups the link belongs to drive the same state from outside.
+	// Because causes overlap freely, the down state is cause-counted:
+	// downCauses is the number of currently active down causes of any
+	// kind, hardCauses the hard ones among them, and softRates the
+	// degraded rates of the active soft ones (the serializer drains at
+	// their minimum). down/downSince track the union phase for
+	// accounting; wasHard records whether any hard cause was active since
+	// downSince (that is what makes surviving store contents "requeued").
+	// churnRng is the arc's private seeded stream for its own process;
+	// churnDown that process's phase; churnFn the transition callback
+	// bound once at startChurn. txDoomed and pipeDoomed mark in-flight
+	// packets caught on the wire by a hard failure: their scheduled
+	// completion/arrival events still fire, but dispose of the packet
+	// instead of advancing it.
 	outage     topo.OutageSpec
+	calendar   topo.CalendarSpec
+	grouped    bool // member of at least one enabled SRLG
 	down       bool
 	downSince  time.Duration
+	downCauses int
+	hardCauses int
+	wasHard    bool
+	softRates  []units.BitRate
 	churnRng   *rand.Rand
+	churnDown  bool
 	churnFn    func()
 	txDoomed   bool
 	pipeDoomed int
+
+	// Per-packet random loss (see churn.go): every packet surviving to
+	// the far end of the arc is dropped with probability lossProb, drawn
+	// from the arc's private seeded stream — independent of outages, so
+	// loss exercises the transports' recovery paths continuously rather
+	// than in bursts. lossRng stays nil on lossless arcs: the p=0 fast
+	// path is a single nil check.
+	lossProb float64
+	lossRng  *rand.Rand
 
 	// Observability (set only when the sim is instrumented): name is the
 	// "from>to" arc label; the counters track serialised and detoured
@@ -118,6 +143,7 @@ type arcState struct {
 	cDetourBytes     *obs.Counter
 	cDownTransitions *obs.Counter
 	hDownSeconds     *obs.Histogram
+	cPktsLostRandom  *obs.Counter
 }
 
 // newPacket takes a packet from the pool (all fields zero, rest empty
@@ -192,17 +218,7 @@ func (a *arcState) next() *packet {
 		}
 		return p
 	}
-	if _, ok := a.store.Pop(a.sim.des.Now()); ok {
-		p := a.pktq[a.pktHead]
-		a.pktq[a.pktHead] = nil
-		a.pktHead++
-		// Compact once the dead prefix dominates (mirrors the store).
-		if a.pktHead > 64 && a.pktHead*2 > len(a.pktq) {
-			a.pktq = append(a.pktq[:0], a.pktq[a.pktHead:]...)
-			a.pktHead = 0
-		}
-		a.maybeReleaseBackpressure()
-		a.sim.emitTrace("custody_exit", p.flow, a.name, p.seq, a.occupancyFraction())
+	if p := a.popStored(); p != nil {
 		return p
 	}
 	// Source scheduling: arcs leaving a sender pull the next chunk on
@@ -210,14 +226,36 @@ func (a *arcState) next() *packet {
 	return a.sim.nextSenderChunk(a)
 }
 
+// popStored pops the head of the store together with its pktq mirror
+// entry — the shared dequeue step of next() and failover evacuation.
+func (a *arcState) popStored() *packet {
+	if _, ok := a.store.Pop(a.sim.des.Now()); !ok {
+		return nil
+	}
+	p := a.pktq[a.pktHead]
+	a.pktq[a.pktHead] = nil
+	a.pktHead++
+	// Compact once the dead prefix dominates (mirrors the store).
+	if a.pktHead > 64 && a.pktHead*2 > len(a.pktq) {
+		a.pktq = append(a.pktq[:0], a.pktq[a.pktHead:]...)
+		a.pktHead = 0
+	}
+	a.maybeReleaseBackpressure()
+	a.sim.emitTrace("custody_exit", p.flow, a.name, p.seq, a.occupancyFraction())
+	return p
+}
+
 // transmit serialises p and schedules its arrival at the far end.
 func (a *arcState) transmit(p *packet) {
 	a.busy = true
 	rate := a.capRate
-	if a.down && rate > a.outage.DownRate {
-		// Degraded phase: the serializer keeps draining at the reduced
-		// rate. (Hard outages never reach here — kick is paused.)
-		rate = a.outage.DownRate
+	if a.down {
+		// Degraded phase: the serializer keeps draining at the minimum
+		// rate over the active soft causes. (Hard outages never reach
+		// here — kick is paused.)
+		if r := a.minSoftRate(); r < rate {
+			rate = r
+		}
 	}
 	if rate <= 0 {
 		rate = units.BitRate(1) // fully throttled: crawl, don't stall forever
@@ -268,18 +306,49 @@ func (a *arcState) deliverHead() {
 		a.dropInFlight(p)
 		return
 	}
+	if a.lossRng != nil && a.lossRng.Float64() < a.lossProb {
+		// Random per-packet loss, drawn only for packets that would
+		// otherwise arrive so the stream indexes deliveries, not wire
+		// occupancy. The draw is allocation-free (BenchmarkChunknetLossy
+		// gates this).
+		a.dropRandom(p)
+		return
+	}
 	a.sim.arrive(p, a)
 }
 
 // measuredResidual estimates the spare capacity of the arc from the last
 // estimator tick — the "average link utilisation" neighbours exchange in
-// the capacity-aware detour variant (§3.3).
+// the capacity-aware detour variant (§3.3). A hard-down arc reports zero
+// residual: the planner and pickDetour treat it as zero-capacity, which
+// is what steers failover detours around outages.
 func (a *arcState) measuredResidual() units.BitRate {
-	res := a.capRate - a.lastRate
+	if a.paused() {
+		return 0
+	}
+	capRate := a.capRate
+	if a.down {
+		if r := a.minSoftRate(); r < capRate {
+			capRate = r
+		}
+	}
+	res := capRate - a.lastRate
 	if res < 0 {
 		return 0
 	}
 	return res
+}
+
+// minSoftRate is the lowest degraded rate among the active soft down
+// causes, or the arc's capRate when none are active.
+func (a *arcState) minSoftRate() units.BitRate {
+	min := a.capRate
+	for _, r := range a.softRates {
+		if r < min {
+			min = r
+		}
+	}
+	return min
 }
 
 // occupancyFraction is the filled share of the store.

@@ -74,12 +74,21 @@ type Config struct {
 
 	// Outage, when enabled, is the churn process applied to every link
 	// that does not declare its own topo.OutageSpec — the quick way to
-	// churn a whole graph. Links with their own spec keep it.
+	// churn a whole graph. Links with their own spec keep it. Maintenance
+	// calendars, SRLGs and per-packet loss have no graph-wide default:
+	// they are declared on the graph (SetLinkCalendar, AddSRLG,
+	// SetLinkLoss) and picked up from there.
 	Outage topo.OutageSpec
-	// ChurnSeed seeds the per-arc outage processes (default 1). Two runs
-	// with the same seed see byte-identical churn; the seed is mixed per
-	// arc, so arcs fail independently.
+	// ChurnSeed seeds every stochastic failure process (default 1): the
+	// per-arc outage streams, the SRLG group streams, and the per-arc
+	// loss streams. Two runs with the same seed see byte-identical
+	// disruption; the seed is mixed per source, so arcs and groups fail
+	// independently of each other and of packet loss.
 	ChurnSeed int64
+	// Failover selects what INRPP routers do with traffic whose nominal
+	// next arc is hard-down (default FailoverHold: wait in custody; see
+	// failover.go). Ignored by AIMD/ARC, which have no detours.
+	Failover FailoverMode
 
 	// RTO is the AIMD retransmission timeout and the ARC stall timer's
 	// upper bound and pre-sample fallback (default 200ms). AIMD keeps the
@@ -165,15 +174,25 @@ type Report struct {
 	ChunksDetoured  int64
 	Retransmits     int64
 
-	// Churn accounting (all zero on a churn-free run). ChunksLostInFlight
-	// counts data chunks destroyed on the wire by hard outages;
-	// ChunksRequeued counts custody-held chunks that survived a hard
-	// outage and resumed on recovery. ArcDownSeconds sums downtime over
-	// all arcs (open phases at the horizon included).
-	ArcDownTransitions int64
-	ArcDownSeconds     float64
-	ChunksRequeued     int64
-	ChunksLostInFlight int64
+	// Failure accounting (all zero on an undisrupted run).
+	// ChunksLostInFlight counts data chunks destroyed on the wire by hard
+	// outages; ChunksRequeued counts custody-held chunks that survived a
+	// hard outage and resumed on recovery. ArcDownSeconds sums downtime
+	// over all arcs (open phases at the horizon included).
+	// SRLGDownTransitions counts correlated group-down transitions (each
+	// may take many arcs down; the per-arc transitions are in
+	// ArcDownTransitions as usual). PktsLostRandom counts packets of any
+	// kind dropped by per-packet random loss. DetourFailovers counts
+	// chunks detoured around a hard-down arc (fresh and evacuated);
+	// ChunksEvacuated the evacuated subset.
+	ArcDownTransitions  int64
+	ArcDownSeconds      float64
+	ChunksRequeued      int64
+	ChunksLostInFlight  int64
+	SRLGDownTransitions int64
+	PktsLostRandom      int64
+	DetourFailovers     int64
+	ChunksEvacuated     int64
 
 	// Completions maps transfer ID to completion time; unfinished
 	// transfers are absent.
@@ -200,6 +219,7 @@ type Sim struct {
 
 	nodes []*nodeState
 	arcs  []*arcState // indexed 2*link+dir
+	srlgs []*srlgState
 
 	flows   map[int]*flowState
 	flowIDs []int
@@ -234,6 +254,10 @@ type Sim struct {
 	mDownTransitions *obs.Counter
 	mRequeued        *obs.Counter
 	mLostInFlight    *obs.Counter
+	mSRLGTransitions *obs.Counter
+	mPktsLostRandom  *obs.Counter
+	mDetourFailovers *obs.Counter
+	mEvacuated       *obs.Counter
 	sCustody         *obs.Sampler
 	gCustodyPeak     *obs.Gauge
 
@@ -259,6 +283,12 @@ type nodeState struct {
 func New(cfg Config) (*Sim, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("chunknet: nil graph")
+	}
+	if cfg.Failover < FailoverHold || cfg.Failover > FailoverBoth {
+		return nil, fmt.Errorf("chunknet: unknown failover mode %d", int(cfg.Failover))
+	}
+	if err := cfg.Outage.Validate(); err != nil {
+		return nil, fmt.Errorf("chunknet: %w", err)
 	}
 	cfg.applyDefaults()
 	s := &Sim{
@@ -316,6 +346,8 @@ func New(cfg Config) (*Sim, error) {
 				capRate:  l.Capacity,
 				delay:    l.Delay,
 				outage:   outage,
+				calendar: l.Calendar,
+				lossProb: l.LossProb,
 				store:    cache.NewCustody(storeCap),
 			}
 			a.txDoneFn = a.txDone
@@ -331,6 +363,24 @@ func New(cfg Config) (*Sim, error) {
 		if a != nil {
 			a.iface = core.NewInterface(a.baseRate, cfg.Iface)
 		}
+	}
+	// Bind shared-risk groups to their member arcs (both directions of
+	// every member link fail together — a conduit cut severs the fibre,
+	// not one direction of it).
+	for _, grp := range s.g.SRLGs() {
+		if !grp.Enabled() {
+			continue
+		}
+		gs := &srlgState{sim: s, name: grp.Name, outage: grp.Outage, calendar: grp.Calendar}
+		for _, lid := range grp.Links {
+			for dir := 0; dir < 2; dir++ {
+				if a := s.arcs[2*int(lid)+dir]; a != nil {
+					gs.arcs = append(gs.arcs, a)
+					a.grouped = true
+				}
+			}
+		}
+		s.srlgs = append(s.srlgs, gs)
 	}
 	s.instrument()
 	return s, nil
@@ -372,24 +422,52 @@ func (s *Sim) instrument() {
 		}
 		a.cTxBytes = reg.Counter(obs.Labeled("arc_tx_bytes", "arc", a.name))
 		a.cDetourBytes = reg.Counter(obs.Labeled("arc_detour_bytes", "arc", a.name))
-		if a.outage.Enabled() {
+		if a.disrupted() {
 			a.cDownTransitions = reg.Counter(obs.Labeled("arc_down_transitions", "arc", a.name))
 			a.hDownSeconds = reg.Histogram(obs.Labeled("arc_down_seconds", "arc", a.name))
 		}
+		if a.lossProb > 0 {
+			a.cPktsLostRandom = reg.Counter(obs.Labeled("arc_pkts_lost_random", "arc", a.name))
+		}
 	}
+	// Sim-wide failure instruments exist only on runs whose config can
+	// move them, so an undisrupted run registers the exact metric set it
+	// always has (TestChurnFreeRunsUnchanged pins this).
 	if s.churned() {
-		// Sim-wide churn instruments exist only on churned runs, so a
-		// churn-free run registers the exact metric set it always has.
 		s.mDownTransitions = reg.Counter("chunknet_arc_down_transitions")
 		s.mRequeued = reg.Counter("chunknet_chunks_requeued")
 		s.mLostInFlight = reg.Counter("chunknet_chunks_lost_inflight")
 	}
+	if len(s.srlgs) > 0 {
+		s.mSRLGTransitions = reg.Counter("chunknet_srlg_down_transitions")
+		for _, grp := range s.srlgs {
+			grp.cTransitions = reg.Counter(obs.Labeled("srlg_down_transitions", "srlg", grp.name))
+		}
+	}
+	if s.lossy() {
+		s.mPktsLostRandom = reg.Counter("chunknet_pkts_lost_random")
+	}
+	if s.cfg.Failover != FailoverHold {
+		s.mDetourFailovers = reg.Counter("chunknet_detour_failovers")
+		s.mEvacuated = reg.Counter("chunknet_chunks_evacuated")
+	}
 }
 
-// churned reports whether any arc has an enabled outage process.
+// churned reports whether any arc can go down: an enabled outage
+// process, a maintenance calendar, or membership in an enabled SRLG.
 func (s *Sim) churned() bool {
 	for _, a := range s.arcs {
-		if a != nil && a.outage.Enabled() {
+		if a != nil && (a.outage.Enabled() || a.calendar.Enabled()) {
+			return true
+		}
+	}
+	return len(s.srlgs) > 0
+}
+
+// lossy reports whether any arc declares per-packet random loss.
+func (s *Sim) lossy() bool {
+	for _, a := range s.arcs {
+		if a != nil && a.lossProb > 0 {
 			return true
 		}
 	}

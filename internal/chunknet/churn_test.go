@@ -405,10 +405,15 @@ func TestChurnFreeRunsUnchanged(t *testing.T) {
 	if rep.ArcDownTransitions != 0 || rep.ArcDownSeconds != 0 || rep.ChunksRequeued != 0 || rep.ChunksLostInFlight != 0 {
 		t.Errorf("churn-free run reported churn: %+v", rep)
 	}
+	if rep.SRLGDownTransitions != 0 || rep.PktsLostRandom != 0 || rep.DetourFailovers != 0 || rep.ChunksEvacuated != 0 {
+		t.Errorf("failure-free run reported failure activity: %+v", rep)
+	}
 	snap := reg.Snapshot()
 	for name := range snap.Counters {
-		if strings.Contains(name, "down") || strings.Contains(name, "requeued") || strings.Contains(name, "inflight") {
-			t.Errorf("churn-free run registered churn instrument %s", name)
+		for _, frag := range []string{"down", "requeued", "inflight", "srlg", "lost_random", "failover", "evacuated"} {
+			if strings.Contains(name, frag) {
+				t.Errorf("failure-free run registered failure instrument %s", name)
+			}
 		}
 	}
 }

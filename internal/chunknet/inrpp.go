@@ -102,16 +102,22 @@ func (s *Sim) arrive(p *packet, a *arcState) {
 }
 
 // forwardData routes a data chunk one hop further, applying the detour
-// phase when the nominal outgoing interface is congested (§3.3).
+// phase when the nominal outgoing interface is congested (§3.3) or —
+// under a reroute failover mode — when the interface is hard-down.
 func (s *Sim) forwardData(p *packet, node topo.NodeID) {
 	next := p.rest[0]
 	a := s.arcFor(node, next)
-	if s.cfg.Transport == INRPP && s.shouldDetour(a) && p.detourBudget > 0 {
+	failover := s.cfg.Transport == INRPP && s.failoverDetour(a)
+	if s.cfg.Transport == INRPP && (s.shouldDetour(a) || failover) && p.detourBudget > 0 {
 		if via, ok := s.pickDetour(a, p); ok {
 			p.detourBudget--
 			if !p.detoured {
 				p.detoured = true
 				s.rep.ChunksDetoured++
+			}
+			if failover {
+				s.rep.DetourFailovers++
+				s.mDetourFailovers.Inc()
 			}
 			// Tunnel through via, rejoining the route at next. Rebuilt in
 			// place through the sim's scratch path, so detouring — the
@@ -180,14 +186,12 @@ func (s *Sim) forwardRequest(p *packet, node topo.NodeID) {
 			ns.est.RecordRequest(via, dataIface, 1)
 		}
 	}
-	s.arcFor(node, next).send(p)
-	p.prevHop = node
+	s.routeControl(node, p)
 }
 
 // forwardControl moves acks and other control packets along their path.
 func (s *Sim) forwardControl(p *packet, node topo.NodeID) {
-	s.arcFor(node, p.rest[0]).send(p)
-	p.prevHop = node
+	s.routeControl(node, p)
 }
 
 // deliver hands a data chunk to its receiver.
@@ -279,7 +283,7 @@ func (s *Sim) sendRequest(f *flowState, seq int64, resend bool) {
 		s.freePacket(p)
 		return
 	}
-	s.arcFor(f.tr.Dst, f.reqPath[1]).send(p)
+	s.routeControl(f.tr.Dst, p)
 }
 
 // onRequest is the INRPP sender's request handler: extend the pushed

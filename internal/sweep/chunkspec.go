@@ -61,6 +61,26 @@ type ChunkSpec struct {
 	// the churn realization, so transports at the same seed see
 	// identical outage traces and the comparison isolates the transport.
 	Outage topo.OutageSpec
+	// Maintenance lists scheduled hard-down windows for the egress link —
+	// the calendar axis. Windows compose with Outage churn on the same
+	// link and are exact: they consume no randomness.
+	Maintenance []topo.Window
+	// Loss is the egress link's per-packet random loss probability — the
+	// lossy-arc axis, continuously exercising NACK/resend recovery.
+	Loss float64
+	// DetourRate, when positive, adds a detour node beside the bottleneck
+	// (router → detour → receiver, both links at DetourRate) — the
+	// alternative path failover reroutes over.
+	DetourRate units.BitRate
+	// Failover selects what INRPP routers do with traffic whose nominal
+	// arc is hard-down: hold in custody (default), reroute around it, or
+	// both (see chunknet.FailoverMode).
+	Failover chunknet.FailoverMode
+	// Correlated groups the egress link and the detour's return link into
+	// one shared-risk link group carrying Outage and Maintenance, so the
+	// nominal path and its escape route fail together. Requires
+	// DetourRate > 0 and at least one of Outage or Maintenance.
+	Correlated bool
 
 	// Obs, Trace and TraceLabel thread observability into the simulator
 	// (see chunknet.Config). All optional; scenarios expanded from one
@@ -107,16 +127,42 @@ func (s *ChunkSpec) applyDefaults() {
 	}
 }
 
-// Graph builds the spec's bottleneck chain. An enabled Outage churns the
-// egress link: the bottleneck fails, so ingress keeps filling the
-// router's store — the regime where custody either holds or drops.
+// Graph builds the spec's bottleneck chain. An enabled Outage (and any
+// Maintenance windows) disrupts the egress link: the bottleneck fails,
+// so ingress keeps filling the router's store — the regime where custody
+// either holds or drops. A positive DetourRate adds the failover diamond
+// (router → detour → receiver), and Correlated binds the egress and the
+// detour's return link into one SRLG so they fail together.
 func (s ChunkSpec) Graph() *topo.Graph {
 	g := topo.New("custody-chain")
 	g.AddNodes(3)
 	g.MustAddLink(0, 1, s.IngressRate, time.Millisecond)
 	egress := g.MustAddLink(1, 2, s.EgressRate, time.Millisecond)
-	if s.Outage.Enabled() {
-		g.SetLinkOutage(egress, s.Outage)
+	detourBack := topo.LinkID(-1)
+	if s.DetourRate > 0 {
+		d := g.AddNode("detour")
+		g.MustAddLink(1, d, s.DetourRate, time.Millisecond)
+		detourBack = g.MustAddLink(d, 2, s.DetourRate, time.Millisecond)
+	}
+	cal := topo.CalendarSpec{Windows: s.Maintenance}
+	switch {
+	case s.Correlated && detourBack >= 0 && (s.Outage.Enabled() || cal.Enabled()):
+		g.MustAddSRLG(topo.SRLG{
+			Name:     "conduit",
+			Links:    []topo.LinkID{egress, detourBack},
+			Outage:   s.Outage,
+			Calendar: cal,
+		})
+	default:
+		if s.Outage.Enabled() {
+			g.SetLinkOutage(egress, s.Outage)
+		}
+		if cal.Enabled() {
+			g.SetLinkCalendar(egress, cal)
+		}
+	}
+	if s.Loss > 0 {
+		g.SetLinkLoss(egress, s.Loss)
 	}
 	return g
 }
@@ -137,6 +183,7 @@ func (s ChunkSpec) Simulate(seed int64) (*chunknet.Report, error) {
 		// seed 0 off the chunknet default); SeedAxes excludes transport,
 		// so transports at one grid point replay the same outage trace.
 		ChurnSeed:  seed + 1,
+		Failover:   s.Failover,
 		Obs:        s.Obs,
 		Trace:      s.Trace,
 		TraceLabel: s.TraceLabel,
@@ -243,13 +290,24 @@ func ChunkMetrics(rep *chunknet.Report, spec ChunkSpec) Metrics {
 		m.Set("closed_loop", float64(rep.ClosedLoopEntries))
 		m.Set("detoured", float64(rep.ChunksDetoured))
 	}
-	// Churn metrics exist only on disrupted scenarios, so churn-free
-	// sweeps keep their exact metric set (and golden bytes).
-	if spec.Outage.Enabled() {
+	// Failure metrics exist only on scenarios whose spec can move them,
+	// so failure-free sweeps keep their exact metric set (and golden
+	// bytes).
+	if spec.Outage.Enabled() || len(spec.Maintenance) > 0 {
 		m.Set("arc_down_transitions", float64(rep.ArcDownTransitions))
 		m.Set("arc_down_s", rep.ArcDownSeconds)
 		m.Set("lost_inflight", float64(rep.ChunksLostInFlight))
 		m.Set("requeued", float64(rep.ChunksRequeued))
+	}
+	if spec.Correlated {
+		m.Set("srlg_down_transitions", float64(rep.SRLGDownTransitions))
+	}
+	if spec.Loss > 0 {
+		m.Set("pkts_lost_random", float64(rep.PktsLostRandom))
+	}
+	if spec.Failover != chunknet.FailoverHold {
+		m.Set("detour_failovers", float64(rep.DetourFailovers))
+		m.Set("evacuated", float64(rep.ChunksEvacuated))
 	}
 	return m
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/chunknet"
+	"repro/internal/topo"
 	"repro/internal/units"
 )
 
@@ -111,6 +112,71 @@ func TestChunkSpecCustodyBeatsDroptail(t *testing.T) {
 	}
 	if runs["aimd"].ChunksDropped == 0 {
 		t.Error("AIMD with a small buffer should drop at the bottleneck")
+	}
+}
+
+// TestChunkSpecFailureAxes: the failure fields reach the graph — the
+// detour diamond exists, Correlated binds the egress and detour-return
+// links into one SRLG, and the failure metrics appear exactly when their
+// axis is engaged.
+func TestChunkSpecFailureAxes(t *testing.T) {
+	spec := ChunkSpec{
+		Transport:    chunknet.INRPP,
+		IngressRate:  200 * units.Mbps,
+		EgressRate:   20 * units.Mbps,
+		DetourRate:   20 * units.Mbps,
+		ChunkSize:    50 * units.KB,
+		Anticipation: 64,
+		Custody:      10 * units.MB,
+		Chunks:       100,
+		Horizon:      6 * time.Second,
+		Ti:           10 * time.Millisecond,
+		Outage:       topo.OutageSpec{Kind: topo.OutageFixed, Up: 300 * time.Millisecond, Down: 200 * time.Millisecond},
+		Maintenance:  []topo.Window{{Start: time.Second, End: 1500 * time.Millisecond}},
+		Loss:         0.01,
+		Failover:     chunknet.FailoverReroute,
+		Correlated:   true,
+	}
+	g := spec.Graph()
+	if g.NumNodes() != 4 {
+		t.Errorf("diamond has %d nodes, want 4", g.NumNodes())
+	}
+	groups := g.SRLGs()
+	if len(groups) != 1 || len(groups[0].Links) != 2 {
+		t.Fatalf("correlated spec built SRLGs %+v, want one 2-link group", groups)
+	}
+	rep, err := spec.Simulate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SRLGDownTransitions == 0 {
+		t.Error("correlated outages never fired")
+	}
+	if rep.PktsLostRandom == 0 {
+		t.Error("loss axis never fired")
+	}
+	m := ChunkMetrics(rep, spec)
+	for _, key := range []string{"srlg_down_transitions", "pkts_lost_random", "detour_failovers", "evacuated", "arc_down_s"} {
+		if _, ok := m.Values[key]; !ok {
+			t.Errorf("failure metric %q missing", key)
+		}
+	}
+	// A failure-free spec must not grow its metric set.
+	clean := ChunkMetrics(rep, ChunkSpec{Transport: chunknet.INRPP, Transfers: 1, Chunks: 100, ChunkSize: 50 * units.KB})
+	for _, key := range []string{"srlg_down_transitions", "pkts_lost_random", "detour_failovers", "evacuated", "arc_down_s"} {
+		if _, ok := clean.Values[key]; ok {
+			t.Errorf("failure-free spec emitted %q", key)
+		}
+	}
+	// Same seed, same realization — the failure model is part of the
+	// deterministic contract.
+	again, err := spec.Simulate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SRLGDownTransitions != rep.SRLGDownTransitions || again.PktsLostRandom != rep.PktsLostRandom ||
+		again.ChunksDelivered != rep.ChunksDelivered {
+		t.Errorf("same-seed failure runs diverged: %+v vs %+v", rep, again)
 	}
 }
 

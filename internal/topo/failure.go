@@ -1,0 +1,226 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Window is one absolute maintenance down-window: the affected arcs are
+// down over [Start, End), measured in simulation time from t=0.
+type Window struct {
+	Start, End time.Duration
+}
+
+// String renders the half-open interval, e.g. "[1s,2.5s)".
+func (w Window) String() string { return fmt.Sprintf("[%s,%s)", w.Start, w.End) }
+
+// CalendarSpec declares scheduled maintenance on a link or group: an
+// explicit, sorted, non-overlapping list of absolute down-windows. Unlike
+// OutageSpec there is no randomness at all — calendar transitions fire at
+// exactly their declared instants — and a calendar composes with any
+// stochastic churn on the same arc: an arc is down while at least one
+// active cause (churn phase, calendar window, SRLG process) holds it down.
+//
+// The zero value declares no maintenance.
+type CalendarSpec struct {
+	// Windows are the down-windows, sorted by Start and non-overlapping.
+	Windows []Window
+	// DownRate is the per-direction capacity while inside a window. Zero
+	// is a hard outage (the serializer pauses and in-flight packets are
+	// lost); a positive rate is a degraded period — the same contract as
+	// OutageSpec.DownRate.
+	DownRate units.BitRate
+}
+
+// Enabled reports whether the calendar declares any windows.
+func (c CalendarSpec) Enabled() bool { return len(c.Windows) > 0 }
+
+// Hard reports whether windows are full outages rather than degraded-rate
+// periods.
+func (c CalendarSpec) Hard() bool { return c.DownRate == 0 }
+
+// Validate checks the calendar invariants: every window non-empty with
+// 0 <= Start < End, the list sorted by Start and non-overlapping, and the
+// degraded rate non-negative.
+func (c CalendarSpec) Validate() error {
+	for i, w := range c.Windows {
+		if w.Start < 0 {
+			return fmt.Errorf("calendar window %d %s starts before t=0", i, w)
+		}
+		if w.End <= w.Start {
+			return fmt.Errorf("calendar window %d %s is empty or inverted", i, w)
+		}
+		if i > 0 && w.Start < c.Windows[i-1].End {
+			return fmt.Errorf("calendar windows %d %s and %d %s overlap or are unsorted",
+				i-1, c.Windows[i-1], i, w)
+		}
+	}
+	if c.DownRate < 0 {
+		return fmt.Errorf("calendar down rate %v is negative", c.DownRate)
+	}
+	return nil
+}
+
+// String renders the windows compactly in the syntax ParseWindows accepts,
+// e.g. "1s-2s;4s-5s" (plus " rate=..." for degraded windows); the zero
+// spec renders as "none".
+func (c CalendarSpec) String() string {
+	if !c.Enabled() {
+		return "none"
+	}
+	parts := make([]string, len(c.Windows))
+	for i, w := range c.Windows {
+		parts[i] = fmt.Sprintf("%s-%s", w.Start, w.End)
+	}
+	s := strings.Join(parts, ";")
+	if !c.Hard() {
+		s += " rate=" + c.DownRate.String()
+	}
+	return s
+}
+
+// ParseWindows parses a semicolon-separated list of absolute down-windows,
+// e.g. "1s-2s;4.5s-6s". Each element is "<start>-<end>" in Go duration
+// syntax. The empty string parses as no windows. The result is not
+// validated for ordering — wrap it in a CalendarSpec and call Validate.
+func ParseWindows(s string) ([]Window, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Window
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		lo, hi, ok := strings.Cut(part, "-")
+		if !ok {
+			return nil, fmt.Errorf("topo: window %q: want <start>-<end>", part)
+		}
+		start, err := time.ParseDuration(strings.TrimSpace(lo))
+		if err != nil {
+			return nil, fmt.Errorf("topo: window %q start: %w", part, err)
+		}
+		end, err := time.ParseDuration(strings.TrimSpace(hi))
+		if err != nil {
+			return nil, fmt.Errorf("topo: window %q end: %w", part, err)
+		}
+		out = append(out, Window{Start: start, End: end})
+	}
+	return out, nil
+}
+
+// SRLG is a shared-risk link group: a named set of links that fail
+// together because they share fate (a conduit, a line card, a power
+// feed). One seeded outage process and/or one maintenance calendar drives
+// the whole group: when it enters a down phase, every arc of every member
+// link goes down at the same instant — a correlated failure — and the
+// group recovers together.
+type SRLG struct {
+	Name     string
+	Links    []LinkID
+	Outage   OutageSpec   // optional stochastic process shared by the group
+	Calendar CalendarSpec // optional maintenance shared by the group
+}
+
+// Enabled reports whether the group declares any disruption at all.
+func (s SRLG) Enabled() bool { return s.Outage.Enabled() || s.Calendar.Enabled() }
+
+// AddSRLG registers a shared-risk link group on the graph. The group must
+// be named, name a non-empty set of distinct existing links, carry valid
+// outage/calendar specs, and not reuse the name of an earlier group.
+func (g *Graph) AddSRLG(s SRLG) error {
+	if s.Name == "" {
+		return fmt.Errorf("topo: SRLG needs a name")
+	}
+	for _, prev := range g.srlgs {
+		if prev.Name == s.Name {
+			return fmt.Errorf("topo: duplicate SRLG %q", s.Name)
+		}
+	}
+	if len(s.Links) == 0 {
+		return fmt.Errorf("topo: SRLG %q names no links", s.Name)
+	}
+	seen := make(map[LinkID]bool, len(s.Links))
+	for _, id := range s.Links {
+		if id < 0 || int(id) >= len(g.links) {
+			return fmt.Errorf("topo: SRLG %q names unknown link %d (graph %q has %d links)",
+				s.Name, id, g.name, len(g.links))
+		}
+		if seen[id] {
+			return fmt.Errorf("topo: SRLG %q names link %d twice", s.Name, id)
+		}
+		seen[id] = true
+	}
+	if err := s.Outage.Validate(); err != nil {
+		return fmt.Errorf("topo: SRLG %q: %w", s.Name, err)
+	}
+	if err := s.Calendar.Validate(); err != nil {
+		return fmt.Errorf("topo: SRLG %q: %w", s.Name, err)
+	}
+	g.srlgs = append(g.srlgs, cloneSRLG(s))
+	return nil
+}
+
+// MustAddSRLG is AddSRLG for construction code where a failure is a bug.
+func (g *Graph) MustAddSRLG(s SRLG) {
+	if err := g.AddSRLG(s); err != nil {
+		panic(err)
+	}
+}
+
+// SRLGs returns the registered groups in insertion order. The returned
+// slice is shared; do not modify it.
+func (g *Graph) SRLGs() []SRLG { return g.srlgs }
+
+// SetLinkCalendar declares scheduled maintenance on an existing link. Like
+// SetLinkOutage it panics loudly on an unknown link or an invalid spec —
+// both are construction-time programming errors.
+func (g *Graph) SetLinkCalendar(id LinkID, c CalendarSpec) {
+	g.mustLink(id, "SetLinkCalendar")
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("topo: SetLinkCalendar(%d): %v", id, err))
+	}
+	c.Windows = append([]Window(nil), c.Windows...)
+	g.links[id].Calendar = c
+}
+
+// SetLinkLoss declares a per-packet drop probability on an existing link,
+// applied independently in each direction by the simulator consuming the
+// graph (from a seeded per-arc stream — the graph only carries the
+// declaration). It panics loudly on an unknown link or a probability
+// outside [0,1].
+func (g *Graph) SetLinkLoss(id LinkID, p float64) {
+	g.mustLink(id, "SetLinkLoss")
+	if err := ValidateLossProb(p); err != nil {
+		panic(fmt.Sprintf("topo: SetLinkLoss(%d): %v", id, err))
+	}
+	g.links[id].LossProb = p
+}
+
+// ValidateLossProb rejects per-packet loss probabilities outside [0,1]
+// (including NaN).
+func ValidateLossProb(p float64) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("loss probability %v outside [0,1]", p)
+	}
+	return nil
+}
+
+// mustLink panics with a descriptive message when id is not a link of g —
+// loud and precise instead of an index-out-of-range from deep inside a
+// setter.
+func (g *Graph) mustLink(id LinkID, op string) {
+	if id < 0 || int(id) >= len(g.links) {
+		panic(fmt.Sprintf("topo: %s: unknown link %d (graph %q has %d links)", op, id, g.name, len(g.links)))
+	}
+}
+
+// cloneSRLG deep-copies the group's slices so later caller mutations
+// cannot reach the graph's registered copy.
+func cloneSRLG(s SRLG) SRLG {
+	s.Links = append([]LinkID(nil), s.Links...)
+	s.Calendar.Windows = append([]Window(nil), s.Calendar.Windows...)
+	return s
+}

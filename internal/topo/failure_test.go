@@ -1,0 +1,280 @@
+package topo
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestCalendarValidate(t *testing.T) {
+	ok := CalendarSpec{Windows: []Window{{time.Second, 2 * time.Second}, {4 * time.Second, 5 * time.Second}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid calendar rejected: %v", err)
+	}
+	bad := []CalendarSpec{
+		{Windows: []Window{{-time.Second, time.Second}}},                                        // negative start
+		{Windows: []Window{{time.Second, time.Second}}},                                         // empty window
+		{Windows: []Window{{2 * time.Second, time.Second}}},                                     // inverted
+		{Windows: []Window{{3 * time.Second, 4 * time.Second}, {time.Second, 2 * time.Second}}}, // unsorted
+		{Windows: []Window{{time.Second, 3 * time.Second}, {2 * time.Second, 4 * time.Second}}}, // overlap
+		{Windows: []Window{{0, time.Second}}, DownRate: -units.Mbps},                            // negative rate
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: calendar %v should be rejected", i, c)
+		}
+	}
+}
+
+func TestOutageValidate(t *testing.T) {
+	ok := []OutageSpec{
+		{},
+		{Kind: OutageExp, Up: time.Second, Down: 100 * time.Millisecond},
+		{Kind: OutageFixed, Up: time.Second, Down: time.Second, DownRate: units.Mbps},
+	}
+	for i, o := range ok {
+		if err := o.Validate(); err != nil {
+			t.Errorf("case %d: valid spec rejected: %v", i, err)
+		}
+	}
+	bad := []OutageSpec{
+		{Kind: OutageExp, Up: -time.Second, Down: time.Second},
+		{Kind: OutageExp, Up: time.Second, Down: -time.Second},
+		{Kind: OutageExp, Up: time.Second},     // missing down
+		{Kind: OutageFixed, Down: time.Second}, // missing up
+		{Up: time.Second, Down: time.Second},   // params without kind
+		{Kind: OutageExp, Up: time.Second, Down: time.Second, DownRate: -units.Mbps},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: spec %+v should be rejected", i, o)
+		}
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	ws, err := ParseWindows(" 1s-2s ; 4.5s-6s ")
+	if err != nil {
+		t.Fatalf("ParseWindows: %v", err)
+	}
+	want := []Window{{time.Second, 2 * time.Second}, {4500 * time.Millisecond, 6 * time.Second}}
+	if !reflect.DeepEqual(ws, want) {
+		t.Fatalf("ParseWindows = %v, want %v", ws, want)
+	}
+	if ws, err := ParseWindows(""); err != nil || ws != nil {
+		t.Fatalf("empty string should parse as no windows, got %v, %v", ws, err)
+	}
+	for _, s := range []string{"1s", "1s-2s-3s;", "x-2s", "1s-y"} {
+		if _, err := ParseWindows(s); err == nil {
+			t.Errorf("ParseWindows(%q) should fail", s)
+		}
+	}
+}
+
+func failoverTriangle(t *testing.T) (*Graph, LinkID, LinkID) {
+	t.Helper()
+	g := New("tri")
+	a, b, c := g.AddNode(""), g.AddNode(""), g.AddNode("")
+	l0 := g.MustAddLink(a, b, units.Gbps, time.Millisecond)
+	l1 := g.MustAddLink(b, c, units.Gbps, time.Millisecond)
+	return g, l0, l1
+}
+
+func TestAddSRLGValidation(t *testing.T) {
+	g, l0, l1 := failoverTriangle(t)
+	good := SRLG{Name: "conduit", Links: []LinkID{l0, l1},
+		Outage: OutageSpec{Kind: OutageExp, Up: time.Second, Down: 100 * time.Millisecond}}
+	if err := g.AddSRLG(good); err != nil {
+		t.Fatalf("valid SRLG rejected: %v", err)
+	}
+	bad := []SRLG{
+		{Links: []LinkID{l0}},                    // unnamed
+		{Name: "conduit", Links: []LinkID{l0}},   // duplicate name
+		{Name: "empty"},                          // no links
+		{Name: "ghost", Links: []LinkID{99}},     // unknown link
+		{Name: "twice", Links: []LinkID{l0, l0}}, // duplicate member
+		{Name: "badspec", Links: []LinkID{l0}, Outage: OutageSpec{Kind: OutageExp}},
+		{Name: "badcal", Links: []LinkID{l0}, Calendar: CalendarSpec{Windows: []Window{{time.Second, time.Second}}}},
+	}
+	for i, s := range bad {
+		if err := g.AddSRLG(s); err == nil {
+			t.Errorf("case %d: SRLG %+v should be rejected", i, s)
+		}
+	}
+	if n := len(g.SRLGs()); n != 1 {
+		t.Fatalf("graph has %d SRLGs, want 1", n)
+	}
+}
+
+func TestSettersPanicLoudly(t *testing.T) {
+	g, l0, _ := failoverTriangle(t)
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: expected a panic", name)
+				return
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "topo:") {
+				t.Errorf("%s: panic %v is not a descriptive topo error", name, r)
+			}
+		}()
+		f()
+	}
+	expectPanic("SetLinkOutage unknown id", func() {
+		g.SetLinkOutage(42, OutageSpec{Kind: OutageExp, Up: time.Second, Down: time.Second})
+	})
+	expectPanic("SetLinkOutage invalid spec", func() {
+		g.SetLinkOutage(l0, OutageSpec{Kind: OutageExp, Up: -time.Second, Down: time.Second})
+	})
+	expectPanic("SetLinkCalendar unknown id", func() {
+		g.SetLinkCalendar(-1, CalendarSpec{Windows: []Window{{0, time.Second}}})
+	})
+	expectPanic("SetLinkCalendar invalid spec", func() {
+		g.SetLinkCalendar(l0, CalendarSpec{Windows: []Window{{time.Second, time.Second}}})
+	})
+	expectPanic("SetLinkLoss unknown id", func() { g.SetLinkLoss(7, 0.5) })
+	expectPanic("SetLinkLoss out of range", func() { g.SetLinkLoss(l0, 1.5) })
+}
+
+func TestCloneIsolatesFailureState(t *testing.T) {
+	g, l0, l1 := failoverTriangle(t)
+	g.SetLinkCalendar(l0, CalendarSpec{Windows: []Window{{time.Second, 2 * time.Second}}})
+	g.SetLinkLoss(l1, 0.05)
+	g.MustAddSRLG(SRLG{Name: "conduit", Links: []LinkID{l0, l1},
+		Calendar: CalendarSpec{Windows: []Window{{3 * time.Second, 4 * time.Second}}}})
+
+	c := g.Clone()
+	c.links[0].Calendar.Windows[0].End = 9 * time.Second
+	c.srlgs[0].Links[0] = l1
+	c.srlgs[0].Calendar.Windows[0].Start = 0
+	if g.Link(l0).Calendar.Windows[0].End != 2*time.Second {
+		t.Error("Clone shares link calendar windows")
+	}
+	if g.SRLGs()[0].Links[0] != l0 || g.SRLGs()[0].Calendar.Windows[0].Start != 3*time.Second {
+		t.Error("Clone shares SRLG state")
+	}
+	if c.Link(l1).LossProb != 0.05 {
+		t.Error("Clone lost loss probability")
+	}
+}
+
+func TestJSONRoundTripFailureModel(t *testing.T) {
+	g, l0, l1 := failoverTriangle(t)
+	g.SetLinkOutage(l0, OutageSpec{Kind: OutageExp, Up: time.Second, Down: 250 * time.Millisecond, DownRate: 10 * units.Mbps})
+	g.SetLinkCalendar(l0, CalendarSpec{
+		Windows:  []Window{{time.Second, 2 * time.Second}, {4 * time.Second, 5 * time.Second}},
+		DownRate: units.Mbps,
+	})
+	g.SetLinkLoss(l1, 0.05)
+	g.MustAddSRLG(SRLG{
+		Name:     "conduit",
+		Links:    []LinkID{l0, l1},
+		Outage:   OutageSpec{Kind: OutageFixed, Up: 2 * time.Second, Down: 300 * time.Millisecond},
+		Calendar: CalendarSpec{Windows: []Window{{6 * time.Second, 7 * time.Second}}},
+	})
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(back.Link(l0), g.Link(l0)) {
+		t.Errorf("link 0 round trip: got %+v want %+v", back.Link(l0), g.Link(l0))
+	}
+	if back.Link(l1).LossProb != 0.05 {
+		t.Errorf("loss prob lost: %v", back.Link(l1).LossProb)
+	}
+	if !reflect.DeepEqual(back.SRLGs(), g.SRLGs()) {
+		t.Errorf("SRLG round trip: got %+v want %+v", back.SRLGs(), g.SRLGs())
+	}
+	var again bytes.Buffer
+	if err := back.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("re-encoding a decoded graph changed bytes")
+	}
+}
+
+// TestJSONFailureFreeBytesUnchanged pins the satellite contract: graphs
+// that use none of the new failure fields must encode exactly as they did
+// before SRLG/calendar/loss support existed — no new keys, no reordering.
+func TestJSONFailureFreeBytesUnchanged(t *testing.T) {
+	g := New("plain")
+	a, b := g.AddNode("alpha"), g.AddNode("")
+	g.MustAddLink(a, b, units.Gbps, time.Millisecond)
+	g.SetLinkOutage(0, OutageSpec{Kind: OutageExp, Up: time.Second, Down: 100 * time.Millisecond})
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, key := range []string{"loss_prob", "maintenance", "srlgs"} {
+		if strings.Contains(got, key) {
+			t.Errorf("failure-free graph encodes new key %q:\n%s", key, got)
+		}
+	}
+	want := `{
+  "name": "plain",
+  "nodes": [
+    {
+      "id": 0,
+      "name": "alpha"
+    },
+    {
+      "id": 1,
+      "name": "n1"
+    }
+  ],
+  "links": [
+    {
+      "a": 0,
+      "b": 1,
+      "capacity": "1Gbps",
+      "delay_ms": 1,
+      "outage_kind": "exp",
+      "outage_up_ms": 1000,
+      "outage_down_ms": 100
+    }
+  ]
+}
+`
+	if got != want {
+		t.Errorf("encoding drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestReadJSONFailureErrors(t *testing.T) {
+	link := func(extra string) string {
+		return `{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps"` + extra + `}]}`
+	}
+	cases := []string{
+		link(`,"loss_prob":1.5`),                                                              // loss out of range
+		link(`,"loss_prob":-0.1`),                                                             // negative loss
+		link(`,"maintenance":[{"start_ms":2000,"end_ms":1000}]`),                              // inverted window
+		link(`,"maintenance":[{"start_ms":-5,"end_ms":1000}]`),                                // negative start
+		link(`,"maintenance":[{"start_ms":0,"end_ms":2000},{"start_ms":1000,"end_ms":3000}]`), // torn/overlapping
+		link(`,"maintenance_down_rate":"1Mbps"`),                                              // rate without windows
+		link(`,"outage_up_ms":100`),                                                           // outage params without kind
+		link(`,"outage_kind":"exp","outage_up_ms":100`),                                       // missing down
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps"}],"srlgs":[{"name":"g","links":[5]}]}`,                          // unknown link
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps"}],"srlgs":[{"name":"g","links":[0]},{"name":"g","links":[0]}]}`, // duplicate group
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps"}],"srlgs":[{"name":"g","links":[0,0]}]}`,                        // duplicate member
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadJSON(%q) should fail", c)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -122,7 +123,7 @@ func TestSynthesizeDeterministic(t *testing.T) {
 	}
 	for i := 0; i < a.NumLinks(); i++ {
 		la, lb := a.Link(LinkID(i)), b.Link(LinkID(i))
-		if la != lb {
+		if !reflect.DeepEqual(la, lb) {
 			t.Fatalf("link %d differs: %+v vs %+v", i, la, lb)
 		}
 	}

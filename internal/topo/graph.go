@@ -45,6 +45,8 @@ type Link struct {
 	Capacity units.BitRate // per direction
 	Delay    time.Duration // one-way propagation delay
 	Outage   OutageSpec    // optional churn process; zero value = always up
+	Calendar CalendarSpec  // optional scheduled maintenance; zero value = none
+	LossProb float64       // per-packet drop probability in [0,1]; 0 = lossless
 }
 
 // Other returns the endpoint of l that is not n. It panics if n is not an
@@ -87,6 +89,7 @@ type Graph struct {
 	links     []Link
 	adj       [][]LinkID // node -> incident links
 	linkIndex map[[2]NodeID]LinkID
+	srlgs     []SRLG // shared-risk link groups, insertion order
 }
 
 // New returns an empty graph with the given descriptive name.
@@ -231,11 +234,17 @@ func (g *Graph) Clone() *Graph {
 		adj:       make([][]LinkID, len(g.adj)),
 		linkIndex: make(map[[2]NodeID]LinkID, len(g.linkIndex)),
 	}
+	for i := range out.links {
+		out.links[i].Calendar.Windows = append([]Window(nil), out.links[i].Calendar.Windows...)
+	}
 	for i, a := range g.adj {
 		out.adj[i] = append([]LinkID(nil), a...)
 	}
 	for k, v := range g.linkIndex {
 		out.linkIndex[k] = v
+	}
+	for _, s := range g.srlgs {
+		out.srlgs = append(out.srlgs, cloneSRLG(s))
 	}
 	return out
 }

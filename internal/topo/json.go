@@ -14,6 +14,9 @@ type jsonGraph struct {
 	Name  string     `json:"name"`
 	Nodes []jsonNode `json:"nodes"`
 	Links []jsonLink `json:"links"`
+	// Optional shared-risk link groups; absent for graphs without
+	// correlated failures so older files encode byte-identically.
+	SRLGs []jsonSRLG `json:"srlgs,omitempty"`
 }
 
 type jsonNode struct {
@@ -32,6 +35,96 @@ type jsonLink struct {
 	OutageUpMS     float64 `json:"outage_up_ms,omitempty"`
 	OutageDownMS   float64 `json:"outage_down_ms,omitempty"`
 	OutageDownRate string  `json:"outage_down_rate,omitempty"` // absent = hard outage
+	// Optional maintenance calendar and per-packet loss; absent for
+	// undisrupted links, same byte-identity contract as the churn fields.
+	Maintenance         []jsonWindow `json:"maintenance,omitempty"`
+	MaintenanceDownRate string       `json:"maintenance_down_rate,omitempty"` // absent = hard windows
+	LossProb            float64      `json:"loss_prob,omitempty"`
+}
+
+type jsonWindow struct {
+	StartMS float64 `json:"start_ms"`
+	EndMS   float64 `json:"end_ms"`
+}
+
+type jsonSRLG struct {
+	Name  string `json:"name"`
+	Links []int  `json:"links"`
+	// Shared disruption processes, same schemas as the per-link fields.
+	OutageKind          string       `json:"outage_kind,omitempty"`
+	OutageUpMS          float64      `json:"outage_up_ms,omitempty"`
+	OutageDownMS        float64      `json:"outage_down_ms,omitempty"`
+	OutageDownRate      string       `json:"outage_down_rate,omitempty"`
+	Maintenance         []jsonWindow `json:"maintenance,omitempty"`
+	MaintenanceDownRate string       `json:"maintenance_down_rate,omitempty"`
+}
+
+// encodeWindows / decodeCalendar translate calendar specs to and from
+// their wire form; decode validates before returning.
+func encodeWindows(ws []Window) []jsonWindow {
+	out := make([]jsonWindow, len(ws))
+	for i, w := range ws {
+		out[i] = jsonWindow{
+			StartMS: float64(w.Start) / float64(time.Millisecond),
+			EndMS:   float64(w.End) / float64(time.Millisecond),
+		}
+	}
+	return out
+}
+
+func decodeCalendar(ws []jsonWindow, downRate string) (CalendarSpec, error) {
+	if downRate != "" && len(ws) == 0 {
+		return CalendarSpec{}, fmt.Errorf("maintenance rate without maintenance windows")
+	}
+	var cal CalendarSpec
+	for _, w := range ws {
+		cal.Windows = append(cal.Windows, Window{
+			Start: time.Duration(w.StartMS * float64(time.Millisecond)),
+			End:   time.Duration(w.EndMS * float64(time.Millisecond)),
+		})
+	}
+	if downRate != "" {
+		rate, err := units.ParseBitRate(downRate)
+		if err != nil {
+			return CalendarSpec{}, fmt.Errorf("maintenance rate: %w", err)
+		}
+		cal.DownRate = rate
+	}
+	if err := cal.Validate(); err != nil {
+		return CalendarSpec{}, err
+	}
+	return cal, nil
+}
+
+// decodeOutage translates the shared outage wire fields into a validated
+// spec; all-empty fields decode as the zero (disabled) spec.
+func decodeOutage(kind string, upMS, downMS float64, downRate string) (OutageSpec, error) {
+	if kind == "" {
+		if upMS != 0 || downMS != 0 || downRate != "" {
+			return OutageSpec{}, fmt.Errorf("outage parameters without an outage kind")
+		}
+		return OutageSpec{}, nil
+	}
+	k, err := ParseOutageKind(kind)
+	if err != nil {
+		return OutageSpec{}, err
+	}
+	spec := OutageSpec{
+		Kind: k,
+		Up:   time.Duration(upMS * float64(time.Millisecond)),
+		Down: time.Duration(downMS * float64(time.Millisecond)),
+	}
+	if downRate != "" {
+		rate, err := units.ParseBitRate(downRate)
+		if err != nil {
+			return OutageSpec{}, fmt.Errorf("outage rate: %w", err)
+		}
+		spec.DownRate = rate
+	}
+	if err := spec.Validate(); err != nil {
+		return OutageSpec{}, err
+	}
+	return spec, nil
 }
 
 // MarshalJSON encodes the graph with human-readable capacities.
@@ -55,7 +148,35 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 				jl.OutageDownRate = l.Outage.DownRate.String()
 			}
 		}
+		if l.Calendar.Enabled() {
+			jl.Maintenance = encodeWindows(l.Calendar.Windows)
+			if !l.Calendar.Hard() {
+				jl.MaintenanceDownRate = l.Calendar.DownRate.String()
+			}
+		}
+		jl.LossProb = l.LossProb
 		jg.Links = append(jg.Links, jl)
+	}
+	for _, s := range g.srlgs {
+		js := jsonSRLG{Name: s.Name}
+		for _, id := range s.Links {
+			js.Links = append(js.Links, int(id))
+		}
+		if s.Outage.Enabled() {
+			js.OutageKind = s.Outage.Kind.String()
+			js.OutageUpMS = float64(s.Outage.Up) / float64(time.Millisecond)
+			js.OutageDownMS = float64(s.Outage.Down) / float64(time.Millisecond)
+			if !s.Outage.Hard() {
+				js.OutageDownRate = s.Outage.DownRate.String()
+			}
+		}
+		if s.Calendar.Enabled() {
+			js.Maintenance = encodeWindows(s.Calendar.Windows)
+			if !s.Calendar.Hard() {
+				js.MaintenanceDownRate = s.Calendar.DownRate.String()
+			}
+		}
+		jg.SRLGs = append(jg.SRLGs, js)
 	}
 	return json.Marshal(jg)
 }
@@ -84,24 +205,46 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		if err != nil {
 			return err
 		}
-		if l.OutageKind != "" {
-			kind, err := ParseOutageKind(l.OutageKind)
+		spec, err := decodeOutage(l.OutageKind, l.OutageUpMS, l.OutageDownMS, l.OutageDownRate)
+		if err != nil {
+			return fmt.Errorf("topo: link %d-%d: %w", l.A, l.B, err)
+		}
+		if spec.Kind != OutageNone {
+			fresh.SetLinkOutage(id, spec)
+		}
+		if len(l.Maintenance) > 0 || l.MaintenanceDownRate != "" {
+			cal, err := decodeCalendar(l.Maintenance, l.MaintenanceDownRate)
 			if err != nil {
 				return fmt.Errorf("topo: link %d-%d: %w", l.A, l.B, err)
 			}
-			spec := OutageSpec{
-				Kind: kind,
-				Up:   time.Duration(l.OutageUpMS * float64(time.Millisecond)),
-				Down: time.Duration(l.OutageDownMS * float64(time.Millisecond)),
+			fresh.SetLinkCalendar(id, cal)
+		}
+		if l.LossProb != 0 {
+			if err := ValidateLossProb(l.LossProb); err != nil {
+				return fmt.Errorf("topo: link %d-%d: %w", l.A, l.B, err)
 			}
-			if l.OutageDownRate != "" {
-				rate, err := units.ParseBitRate(l.OutageDownRate)
-				if err != nil {
-					return fmt.Errorf("topo: link %d-%d outage rate: %w", l.A, l.B, err)
-				}
-				spec.DownRate = rate
+			fresh.SetLinkLoss(id, l.LossProb)
+		}
+	}
+	for _, js := range jg.SRLGs {
+		srlg := SRLG{Name: js.Name}
+		for _, id := range js.Links {
+			srlg.Links = append(srlg.Links, LinkID(id))
+		}
+		outage, err := decodeOutage(js.OutageKind, js.OutageUpMS, js.OutageDownMS, js.OutageDownRate)
+		if err != nil {
+			return fmt.Errorf("topo: srlg %q: %w", js.Name, err)
+		}
+		srlg.Outage = outage
+		if len(js.Maintenance) > 0 || js.MaintenanceDownRate != "" {
+			cal, err := decodeCalendar(js.Maintenance, js.MaintenanceDownRate)
+			if err != nil {
+				return fmt.Errorf("topo: srlg %q: %w", js.Name, err)
 			}
-			fresh.SetLinkOutage(id, spec)
+			srlg.Calendar = cal
+		}
+		if err := fresh.AddSRLG(srlg); err != nil {
+			return err
 		}
 	}
 	*g = *fresh

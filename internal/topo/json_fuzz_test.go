@@ -1,0 +1,50 @@
+package topo
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGraphJSON throws arbitrary bytes at the graph decoder — seeded with
+// torn calendar windows, duplicate SRLGs, and out-of-range loss — and
+// checks the decode-encode-decode fixed point: anything that decodes must
+// re-encode to bytes that decode to the same encoding. A decoder that
+// accepts an invalid spec (say an overlapping calendar) without
+// normalising it would break the fixed point and fail here.
+func FuzzGraphJSON(f *testing.F) {
+	seeds := []string{
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps"}]}`,
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps","outage_kind":"exp","outage_up_ms":1000,"outage_down_ms":100}]}`,
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps","maintenance":[{"start_ms":1000,"end_ms":2000}],"loss_prob":0.05}]}`,
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps","maintenance":[{"start_ms":2000,"end_ms":1000}]}]}`,
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps","maintenance":[{"start_ms":0,"end_ms":5000},{"start_ms":4000,"end_ms":6000}]}]}`,
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps","loss_prob":1.5}]}`,
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps"}],"srlgs":[{"name":"g","links":[0],"outage_kind":"fixed","outage_up_ms":1000,"outage_down_ms":100}]}`,
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps"}],"srlgs":[{"name":"g","links":[0]},{"name":"g","links":[0]}]}`,
+		`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"a":0,"b":1,"capacity":"1Gbps"}],"srlgs":[{"name":"g","links":[0,0,9]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // invalid inputs must be rejected, not crash — reaching here is the pass
+		}
+		var first bytes.Buffer
+		if err := g.WriteJSON(&first); err != nil {
+			t.Fatalf("decoded graph failed to encode: %v", err)
+		}
+		back, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of %q failed: %v", first.String(), err)
+		}
+		var second bytes.Buffer
+		if err := back.WriteJSON(&second); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("encode/decode not a fixed point:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+	})
+}

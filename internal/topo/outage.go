@@ -83,6 +83,25 @@ func (o OutageSpec) Enabled() bool {
 // degraded-capacity period.
 func (o OutageSpec) Hard() bool { return o.DownRate == 0 }
 
+// Validate rejects specs that would drive a nonsensical process: negative
+// durations or degraded rate, a kind with missing phase durations, or a
+// disabled kind carrying stray parameters.
+func (o OutageSpec) Validate() error {
+	if o.Up < 0 || o.Down < 0 {
+		return fmt.Errorf("outage durations must be non-negative (up=%s down=%s)", o.Up, o.Down)
+	}
+	if o.DownRate < 0 {
+		return fmt.Errorf("outage down rate %v is negative", o.DownRate)
+	}
+	if o.Kind != OutageNone && (o.Up == 0 || o.Down == 0) {
+		return fmt.Errorf("outage kind %s needs positive up and down durations (up=%s down=%s)", o.Kind, o.Up, o.Down)
+	}
+	if o.Kind == OutageNone && (o.Up != 0 || o.Down != 0 || o.DownRate != 0) {
+		return fmt.Errorf("outage kind none must be the zero spec (up=%s down=%s rate=%v)", o.Up, o.Down, o.DownRate)
+	}
+	return nil
+}
+
 // String renders the spec compactly, e.g. "exp up=1s down=100ms" or
 // "fixed up=2s down=200ms rate=10Mbps"; the zero spec renders as "none".
 func (o OutageSpec) String() string {
@@ -98,7 +117,13 @@ func (o OutageSpec) String() string {
 
 // SetLinkOutage declares a churn process on an existing link. Simulators
 // consuming the graph drive the process; the graph itself only carries
-// the declaration (Clone and JSON round-trips preserve it).
+// the declaration (Clone and JSON round-trips preserve it). It panics
+// loudly on an unknown link or an invalid spec — both are
+// construction-time programming errors.
 func (g *Graph) SetLinkOutage(id LinkID, o OutageSpec) {
+	g.mustLink(id, "SetLinkOutage")
+	if err := o.Validate(); err != nil {
+		panic(fmt.Sprintf("topo: SetLinkOutage(%d): %v", id, err))
+	}
 	g.links[id].Outage = o
 }

@@ -70,6 +70,21 @@ type (
 	LinkOutage = topo.OutageSpec
 	// LinkOutageKind selects the churn family (none, fixed, exp).
 	LinkOutageKind = topo.OutageKind
+	// LinkSRLG is a shared-risk link group: one seeded failure process
+	// (and/or maintenance calendar) that takes every member link down
+	// together. Attach with Graph.AddSRLG / Graph.MustAddSRLG.
+	LinkSRLG = topo.SRLG
+	// LinkCalendar is a scheduled-maintenance calendar for a link or
+	// SRLG: exact absolute down-windows that consume no randomness.
+	// Attach per link with Graph.SetLinkCalendar.
+	LinkCalendar = topo.CalendarSpec
+	// MaintenanceWindow is one [Start, End) down-window of a
+	// LinkCalendar.
+	MaintenanceWindow = topo.Window
+	// ChunkFailoverMode selects what INRPP routers do with traffic whose
+	// nominal arc is hard-down: hold in custody, reroute around the
+	// outage, or both (ChunkConfig.Failover / ChunkSweepSpec.Failover).
+	ChunkFailoverMode = chunknet.FailoverMode
 	// ReportTable is a renderable text/CSV result table.
 	ReportTable = report.Table
 
@@ -414,6 +429,12 @@ var (
 	// DisruptionMerge combines the shard checkpoints of a distributed
 	// disruption run into the full result without executing any scenario.
 	DisruptionMerge = experiments.DisruptionMerge
+	// Failover runs the failover-replanning experiment: failure profile ×
+	// correlation × custody × recovery strategy on the custody diamond.
+	Failover = experiments.Failover
+	// FailoverMerge combines the shard checkpoints of a distributed
+	// failover run into the full result without executing any scenario.
+	FailoverMerge = experiments.FailoverMerge
 )
 
 // Link churn process kinds (LinkOutage.Kind).
@@ -421,6 +442,13 @@ const (
 	OutageNone  = topo.OutageNone
 	OutageFixed = topo.OutageFixed
 	OutageExp   = topo.OutageExp
+)
+
+// Failover recovery strategies (ChunkConfig.Failover).
+const (
+	FailoverHold    = chunknet.FailoverHold
+	FailoverReroute = chunknet.FailoverReroute
+	FailoverBoth    = chunknet.FailoverBoth
 )
 
 // DisruptionConfig parameterises the Disruption experiment.
@@ -431,7 +459,26 @@ func DisruptionReport(r *experiments.DisruptionResult) *ReportTable {
 	return experiments.DisruptionReport(r)
 }
 
+// FailoverConfig parameterises the Failover experiment.
+type FailoverConfig = experiments.FailoverConfig
+
+// FailoverReport renders the failover frontier as a table.
+func FailoverReport(r *experiments.FailoverResult) *ReportTable {
+	return experiments.FailoverReport(r)
+}
+
 // ParseLinkOutageKind decodes "none", "fixed" or "exp".
 func ParseLinkOutageKind(s string) (LinkOutageKind, error) {
 	return topo.ParseOutageKind(s)
+}
+
+// ParseChunkFailoverMode decodes "hold", "reroute" or "both".
+func ParseChunkFailoverMode(s string) (ChunkFailoverMode, error) {
+	return chunknet.ParseFailoverMode(s)
+}
+
+// ParseMaintenanceWindows decodes a semicolon-separated list of
+// "start-end" duration pairs (e.g. "1s-2s;4s-5s") into calendar windows.
+func ParseMaintenanceWindows(s string) ([]MaintenanceWindow, error) {
+	return topo.ParseWindows(s)
 }

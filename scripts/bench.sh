@@ -27,7 +27,7 @@ ALLOW_PCT="${ALLOW_PCT:-25}"
 
 # Gated benchmarks: the DES kernel and the allocator/simulator hot paths.
 # A smoke run fails when any of these regresses in allocs/op.
-GATED="BenchmarkScheduleAndRun BenchmarkFig4Scaled/SP BenchmarkFig4Scaled/INRP BenchmarkFig4Huge/SP BenchmarkFig4Huge/INRP BenchmarkChunknetFanIn BenchmarkChunknetDetour"
+GATED="BenchmarkScheduleAndRun BenchmarkFig4Scaled/SP BenchmarkFig4Scaled/INRP BenchmarkFig4Huge/SP BenchmarkFig4Huge/INRP BenchmarkChunknetFanIn BenchmarkChunknetDetour BenchmarkChunknetLossy"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -39,7 +39,7 @@ run_pkg() {
 }
 
 echo "bench: running suite (benchtime $BENCHTIME)..." >&2
-run_pkg . 'BenchmarkFig4Scaled|BenchmarkFig4Huge|BenchmarkChunknetFanIn|BenchmarkChunknetDetour'
+run_pkg . 'BenchmarkFig4Scaled|BenchmarkFig4Huge|BenchmarkChunknetFanIn|BenchmarkChunknetDetour|BenchmarkChunknetLossy'
 run_pkg ./internal/flowsim 'BenchmarkProgressiveFill|BenchmarkFillClasses|BenchmarkRunINRP'
 run_pkg ./internal/des 'BenchmarkScheduleAndRun'
 
